@@ -1,0 +1,44 @@
+"""Extension bench -- aggregate evaluation over a query pool.
+
+The paper motivates C-Explorer with "a more extensive experimental
+evaluation of CR solutions"; this bench runs that evaluation: all CS
+methods over 25 random feasible query vertices, reporting aggregate
+quality and latency.  Shape assertions: ACQ leads aggregate CPJ and
+CMF (the [4] claim generalised beyond one walkthrough query), and the
+indexed CS methods stay in interactive latency per query.
+"""
+
+from repro.analysis.batch import batch_evaluate, format_batch_table
+
+from conftest import write_artifact
+
+METHODS = ("global", "local", "acq")
+
+
+def test_batch_evaluation(benchmark, dblp, dblp_index):
+    def run():
+        return batch_evaluate(
+            dblp, METHODS, k=4, n_queries=25, seed=17,
+            method_params={"acq": {"index": dblp_index}})
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Exact methods answer every feasible query; Local is a budgeted
+    # heuristic and may abandon a rare hard instance.
+    assert results["global"]["answered"] == 25
+    assert results["acq"]["answered"] == 25
+    assert results["local"]["answered"] >= 22
+    assert results["acq"]["avg_cpj"] > results["global"]["avg_cpj"]
+    assert results["acq"]["avg_cmf"] > results["global"]["avg_cmf"]
+    assert results["acq"]["avg_seconds"] < 0.25
+
+    write_artifact(
+        "batch_evaluation.txt",
+        "Aggregate evaluation - 25 random queries, k=4 (synthetic "
+        "DBLP)\n\n" + format_batch_table(results))
+
+
+def test_batch_query_pool_cost(benchmark, dblp):
+    from repro.analysis.batch import pick_query_vertices
+    queries = benchmark(pick_query_vertices, dblp, 4, 25, seed=17)
+    assert len(queries) == 25

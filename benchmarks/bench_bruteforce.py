@@ -1,0 +1,82 @@
+"""E10 -- Section 3.2's strawman: answering ACQ by enumerating every
+subset of S "has a complexity exponential to the size of S ...
+impractical".
+
+Times brute-force enumeration against Dec while |S| grows.  Shape:
+brute force blows up exponentially (each added keyword roughly doubles
+its work when the answer is small relative to S); Dec stays flat.
+"""
+
+import time
+
+import pytest
+
+from repro.core.acq import AcqQuery, acq_search, brute_force_acq
+
+from conftest import write_artifact
+
+# Keep sizes small: the whole point is that brute force explodes.
+SIZES = [4, 6, 8, 10, 12]
+
+
+def _keywords(dblp, jim, size):
+    # Mix topic keywords with common fillers so not every subset works:
+    # the adversarial case for enumeration.
+    return sorted(dblp.keywords(jim))[:size]
+
+
+@pytest.mark.parametrize("size", [4, 8, 12])
+def test_bruteforce_cost(benchmark, dblp, jim, size):
+    benchmark.group = "bruteforce"
+    query = AcqQuery(dblp, jim, 4, keywords=_keywords(dblp, jim, size))
+    result = benchmark.pedantic(brute_force_acq, args=(query,),
+                                rounds=1, iterations=1)
+    assert result is not None
+
+
+@pytest.mark.parametrize("size", [4, 8, 12])
+def test_dec_cost_same_queries(benchmark, dblp, jim, dblp_index, size):
+    benchmark.group = "dec-same-queries"
+    keywords = _keywords(dblp, jim, size)
+    result = benchmark(acq_search, dblp, jim, 4, keywords=keywords,
+                       algorithm="dec", index=dblp_index)
+    assert result is not None
+
+
+def test_bruteforce_vs_dec_shape(benchmark, dblp, jim, dblp_index):
+    """Sweep |S|; assert Dec wins at every size and the gap widens."""
+
+    def sweep():
+        rows = []
+        for size in SIZES:
+            keywords = _keywords(dblp, jim, size)
+            start = time.perf_counter()
+            brute = brute_force_acq(
+                AcqQuery(dblp, jim, 4, keywords=keywords))
+            brute_secs = time.perf_counter() - start
+            start = time.perf_counter()
+            dec = acq_search(dblp, jim, 4, keywords=keywords,
+                             algorithm="dec", index=dblp_index)
+            dec_secs = time.perf_counter() - start
+            # Same answers, wildly different costs.
+            assert ({(c.vertices, c.shared_keywords) for c in brute}
+                    == {(c.vertices, c.shared_keywords) for c in dec})
+            rows.append((size, brute_secs, dec_secs))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for size, brute_secs, dec_secs in rows:
+        assert dec_secs <= brute_secs * 1.5, (size, brute_secs, dec_secs)
+    # Exponential blow-up: the largest S costs brute force far more
+    # than the smallest; Dec grows mildly.
+    assert rows[-1][1] > 4 * rows[0][1]
+
+    lines = ["Section 3.2 - brute-force subset enumeration vs Dec",
+             "",
+             "{:>4} {:>12} {:>12} {:>8}".format("|S|", "brute (s)",
+                                                "dec (s)", "ratio")]
+    for size, brute_secs, dec_secs in rows:
+        lines.append("{:>4} {:>12.4f} {:>12.4f} {:>8.1f}".format(
+            size, brute_secs, dec_secs,
+            brute_secs / dec_secs if dec_secs else float("inf")))
+    write_artifact("bruteforce_vs_dec.txt", "\n".join(lines))

@@ -1,0 +1,82 @@
+"""E9 -- Section 2's motivation: community *search* is online,
+community *detection* "may take a long time ... not suitable for quick
+or online retrieval".
+
+Times the query-based CS methods (with the index prebuilt, as the
+system runs them) against whole-graph CD methods on the same DBLP
+workload, and asserts the orders-of-magnitude gap the paper's argument
+rests on.
+"""
+
+import time
+
+from repro.algorithms.codicil import codicil
+from repro.algorithms.label_propagation import label_propagation
+from repro.algorithms.local_search import local_search
+from repro.algorithms.newman_girvan import newman_girvan
+from repro.core.acq import acq_search
+
+from conftest import dblp_sized, write_artifact
+
+
+def test_cs_acq_latency(benchmark, dblp, jim, dblp_index):
+    benchmark.group = "cs-online"
+    assert benchmark(acq_search, dblp, jim, 4, index=dblp_index)
+
+
+def test_cs_local_latency(benchmark, dblp, jim):
+    benchmark.group = "cs-online"
+    assert benchmark(local_search, dblp, jim, 4)
+
+
+def test_cd_codicil_latency(benchmark, dblp):
+    benchmark.group = "cd-offline"
+    result = benchmark.pedantic(codicil, args=(dblp,), rounds=2,
+                                iterations=1)
+    assert result
+
+
+def test_cd_label_propagation_latency(benchmark, dblp):
+    benchmark.group = "cd-offline"
+    result = benchmark.pedantic(label_propagation, args=(dblp,),
+                                kwargs={"seed": 1}, rounds=2,
+                                iterations=1)
+    assert result
+
+
+def test_cd_newman_girvan_latency(benchmark):
+    """NG is so slow it only runs on a 300-vertex subsample -- which is
+    the paper's point about CD methods."""
+    benchmark.group = "cd-offline"
+    graph = dblp_sized(300)
+    result = benchmark.pedantic(
+        newman_girvan, args=(graph,), kwargs={"max_removals": 40},
+        rounds=1, iterations=1)
+    assert result[0]
+
+
+def test_cs_vs_cd_gap(benchmark, dblp, jim, dblp_index):
+    """The headline shape: an indexed CS query is >= 100x faster than
+    running CODICIL over the graph."""
+
+    def measure():
+        start = time.perf_counter()
+        acq_search(dblp, jim, 4, index=dblp_index)
+        cs = time.perf_counter() - start
+        start = time.perf_counter()
+        codicil(dblp)
+        cd = time.perf_counter() - start
+        return cs, cd
+
+    cs, cd = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert cd > 100 * cs, (cs, cd)
+    write_artifact(
+        "cs_vs_cd.txt",
+        "Section 2 - online CS vs offline CD (2,000-author DBLP)\n\n"
+        "  ACQ query (indexed): {:8.4f}s\n"
+        "  CODICIL (whole graph): {:6.2f}s\n"
+        "  ratio: {:.0f}x\n\n"
+        "Paper: CD solutions 'may take a long time to find all the\n"
+        "communities for a large graph, and so they are not suitable\n"
+        "for quick or online retrieval of communities.'".format(
+            cs, cd, cd / cs))

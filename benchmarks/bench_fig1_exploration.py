@@ -1,0 +1,51 @@
+"""E1 -- Figure 1: the community-exploration query.
+
+The demo promises communities "returned instantly" once the user hits
+Search.  This bench times the end-to-end ACQ (Dec) query for the
+walkthrough parameters -- author "jim gray", degree >= 4, the author's
+own keywords -- against the prebuilt CL-tree, and regenerates the right
+panel: the community, its theme, and the member list.
+"""
+
+from repro.core.acq import acq_search
+
+from conftest import write_artifact
+
+
+def test_fig1_acq_exploration_query(benchmark, dblp, dblp_index, jim):
+    communities = benchmark(acq_search, dblp, jim, 4, algorithm="dec",
+                            index=dblp_index)
+    assert communities, "the walkthrough query must find a community"
+    community = communities[0]
+    assert jim in community
+    assert community.minimum_internal_degree() >= 4
+    assert community.theme(), "an attributed community carries a theme"
+
+    lines = ["Figure 1 - community exploration (q=jim gray, degree>=4)",
+             "", "Communities: {}".format(len(communities)),
+             "Theme: {}".format(", ".join(community.theme(limit=8))),
+             "", "Members:"]
+    lines.extend("  " + name for name in community.member_names())
+    write_artifact("fig1_exploration.txt", "\n".join(lines))
+
+
+def test_fig1_query_without_index(benchmark, dblp, jim):
+    """Ablation: the same query paying a fresh index build every time --
+    what 'online' would cost without the Indexing module."""
+    communities = benchmark(acq_search, dblp, jim, 4, algorithm="dec",
+                            index=None)
+    assert communities
+
+
+def test_fig1_structural_lookup_via_index(benchmark, dblp_index, jim):
+    """The index lookup alone (locating the k-core component) is
+    microseconds -- the reason exploration feels instant."""
+    members = benchmark(dblp_index.community_vertices, jim, 4)
+    assert members and jim in members
+
+
+def test_fig1_keyword_panel(benchmark, explorer):
+    """The left panel round trip: resolve the name, list constraints."""
+    options = benchmark(explorer.query_options, "jim gray")
+    assert options["keywords"]
+    assert options["max_k"] >= 4

@@ -1,0 +1,38 @@
+"""E2 -- Figure 2: the member-profile pop-up and onward exploration.
+
+Times the click-a-portrait loop: look up the profile of a community
+member, then run that member's own community query ("Users can then
+continue to explore Michael's communities").
+"""
+
+from repro.core.acq import acq_search
+
+from conftest import write_artifact
+
+
+def test_fig2_profile_lookup(benchmark, explorer):
+    profile = benchmark(explorer.profile, "Michael Stonebraker")
+    assert profile.name == "Michael Stonebraker"
+    assert "Berkeley" in profile.institute
+    write_artifact("fig2_profile.txt",
+                   "Figure 2 - author profile card\n\n"
+                   + profile.render_text())
+
+
+def test_fig2_synthetic_profile_lookup(benchmark, explorer, dblp, jim):
+    """Profiles exist for every member, not just renowned ones."""
+    member = max(dblp.neighbors(jim), key=dblp.degree)
+    name = dblp.display_name(member)
+    profile = benchmark(explorer.profile, name)
+    assert profile.name == name
+
+
+def test_fig2_onward_exploration(benchmark, dblp, dblp_index, jim):
+    """Explore the community of a member of Jim Gray's community."""
+    base = acq_search(dblp, jim, 4, index=dblp_index)[0]
+    member = next(v for v in sorted(base.vertices) if v != jim)
+
+    communities = benchmark(acq_search, dblp, member, 3, algorithm="dec",
+                            index=dblp_index)
+    assert communities
+    assert member in communities[0]

@@ -1,0 +1,54 @@
+"""E3 -- Figure 5: the example graph and its CL-tree index.
+
+Regenerates Figure 5(b): the exact tree over the paper's 10-vertex
+example, and benches both index builders on it and on the DBLP
+workload.  The structure assertions make this bench double as the
+figure's correctness check.
+"""
+
+from repro.core.cltree import build_cltree, build_cltree_basic
+from repro.datasets import figure5_graph
+
+from conftest import write_artifact
+
+EXPECTED_TREE = (
+    "[k=0] {J}\n"
+    "  [k=1] {F, G}\n"
+    "    [k=2] {E}\n"
+    "      [k=3] {A, B, C, D}\n"
+    "  [k=1] {H, I}"
+)
+
+
+def test_fig5_cltree_structure(benchmark):
+    """Figure 5(b): advanced build reproduces the paper's tree."""
+    graph = figure5_graph()
+    tree = benchmark(build_cltree, graph)
+    assert tree.describe() == EXPECTED_TREE
+    write_artifact(
+        "fig5_cltree.txt",
+        "Figure 5(b) - CL-tree of the example graph\n\n"
+        + tree.describe()
+        + "\n\nCore number table:\n"
+        + "\n".join("  {}: {}".format(k, v) for k, v in [
+            ("0", "J"), ("1", "F, G, H, I"), ("2", "E"),
+            ("3", "A, B, C, D")]))
+
+
+def test_fig5_cltree_basic_builder(benchmark):
+    """The basic (oracle) builder produces the same tree."""
+    graph = figure5_graph()
+    tree = benchmark(build_cltree_basic, graph)
+    assert tree.describe() == EXPECTED_TREE
+
+
+def test_cltree_build_dblp_advanced(benchmark, dblp):
+    """Advanced builder on the 2,000-author demo workload."""
+    tree = benchmark(build_cltree, dblp)
+    assert tree.node_count() > 0
+
+
+def test_cltree_build_dblp_basic(benchmark, dblp):
+    """Basic builder on the same workload (the ablation baseline)."""
+    tree = benchmark(build_cltree_basic, dblp)
+    assert tree.node_count() > 0

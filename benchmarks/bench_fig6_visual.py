@@ -1,0 +1,48 @@
+"""E6 -- Figure 6(b): visual comparison of two methods' communities.
+
+Regenerates the side-by-side view: the ACQ community and the Local
+community of the same query, laid out and rendered to SVG (our JUNG
+substitute).  The SVG artefacts land in benchmarks/out/.
+"""
+
+from repro.algorithms.local_search import local_search
+from repro.core.acq import acq_search
+from repro.viz.layout import ego_layout, spring_layout
+from repro.viz.render import render_svg
+
+from conftest import write_artifact
+
+
+def test_fig6b_acq_view(benchmark, dblp, jim, dblp_index):
+    community = acq_search(dblp, jim, 4, index=dblp_index)[0]
+
+    def draw():
+        return render_svg(community, layout=ego_layout(community),
+                          title="Method: ACQ")
+    svg = benchmark(draw)
+    assert svg.startswith("<svg")
+    write_artifact("fig6b_acq.svg", svg)
+
+
+def test_fig6b_local_view(benchmark, dblp, jim):
+    community = local_search(dblp, jim, 4, check_interval=12)[0]
+
+    def draw():
+        return render_svg(community, layout=ego_layout(community),
+                          title="Method: Local")
+    svg = benchmark(draw)
+    assert svg.startswith("<svg")
+    write_artifact("fig6b_local.svg", svg)
+
+
+def test_fig6b_spring_layout_cost(benchmark, dblp, jim, dblp_index):
+    """The force-directed layout is the expensive display path."""
+    community = acq_search(dblp, jim, 4, index=dblp_index)[0]
+    positions = benchmark(spring_layout, community, iterations=40, seed=1)
+    assert set(positions) == set(community.vertices)
+
+
+def test_fig6b_ego_layout_cost(benchmark, dblp, jim, dblp_index):
+    community = acq_search(dblp, jim, 4, index=dblp_index)[0]
+    positions = benchmark(ego_layout, community)
+    assert set(positions) == set(community.vertices)

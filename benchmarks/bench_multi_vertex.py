@@ -1,0 +1,57 @@
+"""E12 -- the multi-vertex ACQ variant (Section 3.2; the "+" button of
+Figure 1).
+
+Times queries with |Q| in {1, 2, 3} query vertices from the same
+community.  Shape: multi-vertex queries stay in the same latency class
+as single-vertex ones (the candidate space only shrinks), so the
+interactive loop survives adding authors.
+"""
+
+import pytest
+
+from repro.core.acq import acq_search
+
+from conftest import write_artifact
+
+
+def _query_group(dblp, dblp_index, jim, count):
+    """Jim Gray plus (count - 1) members of his own community."""
+    base = acq_search(dblp, jim, 4, index=dblp_index)[0]
+    others = [v for v in sorted(base.vertices) if v != jim]
+    return [jim] + others[:count - 1]
+
+
+@pytest.mark.parametrize("count", [1, 2, 3])
+def test_multi_vertex_query(benchmark, dblp, dblp_index, jim, count):
+    benchmark.group = "multi-vertex"
+    qs = _query_group(dblp, dblp_index, jim, count)
+    communities = benchmark(acq_search, dblp, qs if count > 1 else jim,
+                            4, index=dblp_index)
+    assert communities
+    community = communities[0]
+    for q in qs:
+        assert q in community
+
+
+def test_multi_vertex_narrows_results(benchmark, dblp, dblp_index, jim):
+    """Adding query vertices can only narrow the community (the shared
+    keyword set is an intersection over Q)."""
+
+    def run():
+        single = acq_search(dblp, jim, 4, index=dblp_index)
+        qs = _query_group(dblp, dblp_index, jim, 3)
+        multi = acq_search(dblp, qs, 4, index=dblp_index)
+        return single, multi
+
+    single, multi = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert single and multi
+    assert len(multi[0].shared_keywords) <= \
+        len(dblp.keywords(jim))
+
+    write_artifact(
+        "multi_vertex.txt",
+        "Section 3.2 - multi-vertex ACQ variant\n\n"
+        "  |Q|=1: {} communities, theme size {}\n"
+        "  |Q|=3: {} communities, theme size {}\n".format(
+            len(single), len(single[0].shared_keywords),
+            len(multi), len(multi[0].shared_keywords)))

@@ -1,0 +1,76 @@
+"""Micro-benchmarks for the data-structure substrates.
+
+Not a paper figure -- these watch the constants of the pieces every
+query touches (union-find, the updatable heap, the name trie, the
+query cache, core decomposition) so a regression in a substrate is
+visible before it shows up as a blurry slowdown in E1.
+"""
+
+from repro.core.kcore import core_decomposition
+from repro.explorer.autocomplete import NameIndex
+from repro.explorer.sessions import QueryCache
+from repro.util.heaps import UpdatableMinHeap
+from repro.util.unionfind import UnionFind
+
+
+def test_unionfind_union_find(benchmark):
+    def run():
+        uf = UnionFind(range(2000))
+        for i in range(0, 1999):
+            uf.union(i, i + 1)
+        return sum(1 for i in range(2000) if uf.find(i) == uf.find(0))
+
+    assert benchmark(run) == 2000
+
+
+def test_heap_push_update_pop(benchmark):
+    def run():
+        heap = UpdatableMinHeap()
+        for i in range(1500):
+            heap.push(i, 1500 - i)
+        for i in range(0, 1500, 3):
+            heap.push(i, -i)
+        drained = 0
+        while heap:
+            heap.pop()
+            drained += 1
+        return drained
+
+    assert benchmark(run) == 1500
+
+
+def test_core_decomposition_dblp(benchmark, dblp):
+    core = benchmark(core_decomposition, dblp)
+    assert len(core) == dblp.vertex_count
+
+
+def test_name_trie_build(benchmark, dblp):
+    index = benchmark(NameIndex.from_graph, dblp)
+    assert len(index) == dblp.vertex_count
+
+
+def test_name_trie_suggest(benchmark, dblp):
+    index = NameIndex.from_graph(dblp)
+    names = benchmark(index.suggest, "j", 10)
+    assert names
+
+
+def test_query_cache_hit(benchmark):
+    cache = QueryCache(capacity=512)
+    keys = [cache.key("g", "acq", i, 4) for i in range(400)]
+    for key in keys:
+        cache.put(key, ["x"])
+
+    def run():
+        hits = 0
+        for key in keys:
+            if cache.get(key) is not None:
+                hits += 1
+        return hits
+
+    assert benchmark(run) == 400
+
+
+def test_graph_copy(benchmark, dblp):
+    copied = benchmark(dblp.copy)
+    assert copied.edge_count == dblp.edge_count

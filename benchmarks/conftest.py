@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures/tables (see the
+experiment index in DESIGN.md).  Numbers are machine-dependent; the
+*shape* assertions (who wins, what scales how) are what reproduce the
+paper.  Each bench also writes a human-readable artefact into
+``benchmarks/out/`` so the regenerated tables can be inspected after a
+run (they are the inputs to EXPERIMENTS.md).
+"""
+
+import os
+
+import pytest
+
+from repro.core.cltree import build_cltree
+from repro.datasets import DblpConfig, generate_dblp_graph
+from repro.explorer.cexplorer import CExplorer
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def write_artifact(name, text):
+    """Persist a regenerated table/figure under benchmarks/out/."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, name)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text if text.endswith("\n") else text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def dblp():
+    """The session's main workload: the default 2,000-author graph."""
+    return generate_dblp_graph()
+
+
+@pytest.fixture(scope="session")
+def dblp_index(dblp):
+    """Prebuilt CL-tree over the main workload (the offline step)."""
+    return build_cltree(dblp)
+
+
+@pytest.fixture(scope="session")
+def jim(dblp):
+    """The paper's walkthrough query vertex."""
+    return dblp.id_of("Jim Gray")
+
+
+@pytest.fixture(scope="session")
+def explorer(dblp):
+    ex = CExplorer()
+    ex.add_graph("dblp", dblp)
+    ex.index()
+    return ex
+
+
+def dblp_sized(n, seed=7):
+    """A generated graph with ~n authors (for scaling sweeps)."""
+    communities = max(4, n // 85)
+    return generate_dblp_graph(DblpConfig(n_authors=n,
+                                          n_communities=communities,
+                                          seed=seed))

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The Figure 6 comparison-analysis scenario.
+
+Runs Global, Local, CODICIL and ACQ on the same query and prints the
+statistics table, the CPJ/CMF bars and the overlap matrix -- the whole
+Analysis screen, in the terminal.
+
+Run:  python examples/compare_algorithms.py
+"""
+
+from repro import CExplorer
+from repro.datasets import generate_dblp_graph
+
+
+def bar(value, width=40):
+    return "#" * int(round(value * width))
+
+
+def main():
+    explorer = CExplorer()
+    explorer.add_graph("dblp", generate_dblp_graph())
+
+    print("=== Comparison analysis: jim gray, degree >= 4 ===\n")
+    report = explorer.compare(
+        "jim gray", k=4,
+        methods=("global", "local", "codicil", "acq"))
+
+    print(report.render_text())
+
+    print("\nSimilarity Analysis (CPJ / CMF bars):")
+    for metric in ("cpj", "cmf"):
+        print("  {}:".format(metric.upper()))
+        for method, bars in report.quality_bars().items():
+            print("    {:<8} {:<7} {}".format(method, bars[metric],
+                                              bar(bars[metric])))
+
+    print("\nMember-set overlap between methods (Jaccard):")
+    matrix = report.overlap_matrix()
+    methods = sorted({a for a, _ in matrix})
+    header = "          " + "".join("{:>9}".format(m) for m in methods)
+    print(header)
+    for a in methods:
+        row = "  {:<8}".format(a)
+        for b in methods:
+            row += "{:>9}".format(matrix[(a, b)])
+        print(row)
+
+    print("\nView links: the communities can be rendered side by side")
+    for method in ("acq", "local"):
+        communities = report.results[method]
+        if communities:
+            print("\n--- Method: {}  Communities: {} ---".format(
+                method.upper(), len(communities)))
+            print(explorer.display(communities[0], fmt="ascii",
+                                   height=14))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""The Figure 1 / Figure 2 demonstration scenario, end to end.
+
+Reproduces Section 4's "Community exploration": type an author name,
+inspect the degree constraints and keywords the system suggests,
+search, read the theme, open a member's profile, and continue
+exploring from that member -- then save the community view as SVG.
+
+Run:  python examples/explore_dblp.py
+"""
+
+import os
+
+from repro import CExplorer
+from repro.datasets import generate_dblp_graph
+from repro.viz.render import save_svg
+
+OUT = os.path.join(os.path.dirname(__file__), "out")
+
+
+def main():
+    explorer = CExplorer()
+    explorer.add_graph("dblp", generate_dblp_graph())
+
+    # -- the left panel: the user types a name ------------------------
+    options = explorer.query_options("jim gray")
+    print("Name: {}".format(options["name"]))
+    print("Structure: degree >= 1 .. {}".format(options["max_k"]))
+    print("Keywords: {}".format(", ".join(options["keywords"][:10])))
+
+    # -- Search (degree >= 4, the author's keywords) ------------------
+    print("\n=== Exploration: communities of Jim Gray (k=4) ===")
+    communities = explorer.search("acq", "jim gray", k=4)
+    print("Communities: {}".format(" ".join(
+        str(i + 1) for i in range(len(communities)))))
+    community = communities[0]
+    print("Theme: {}".format(", ".join(community.theme(limit=8))))
+    print(explorer.display(community, fmt="ascii"))
+
+    # -- click a member: the profile pop-up (Figure 2) ----------------
+    jim = explorer.resolve_vertex("jim gray")
+    member = next(v for v in sorted(community.vertices) if v != jim)
+    member_name = explorer.graph.display_name(member)
+    print("\n=== Clicking on {} ===".format(member_name))
+    print(explorer.profile(member_name).render_text())
+
+    # -- continue exploring from the member ---------------------------
+    print("\n=== Exploring {}'s own community (k=3) ===".format(
+        member_name))
+    onward = explorer.search("acq", member_name, k=3)
+    if onward:
+        print("Theme: {}".format(", ".join(onward[0].theme(limit=8))))
+        print("Members: {}".format(
+            ", ".join(onward[0].member_names()[:10])))
+
+    # -- save the community as an image (the demo's .jpg button) ------
+    os.makedirs(OUT, exist_ok=True)
+    path = save_svg(community, os.path.join(OUT, "jim_gray_community.svg"),
+                    title="Community of Jim Gray (ACQ, degree >= 4)")
+    print("\nSaved community view to {}".format(path))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Spatial-aware community search (reference [3] of the paper).
+
+Generates a spatial social network (users with coordinates, planted
+geographic communities), runs SAC (AppInc) for a query user, and
+contrasts the result with the structure-only Global community: same
+degree guarantee, radically tighter geography.
+
+Run:  python examples/spatial_exploration.py
+"""
+
+from repro.algorithms.global_search import global_search
+from repro.algorithms.spatial import spatial_community_search
+from repro.datasets.spatial import euclidean, generate_spatial_graph
+
+
+def main():
+    graph, coords, truth = generate_spatial_graph(
+        n=600, communities=8, seed=21)
+    print("Spatial graph: {} users, {} edges, 8 planted regions".format(
+        graph.vertex_count, graph.edge_count))
+
+    q, k = 0, 2
+    qx, qy = coords[q]
+    print("\nQuery: user {} at ({:.2f}, {:.2f}), degree >= {}".format(
+        graph.display_name(q), qx, qy, k))
+
+    communities, radius = spatial_community_search(graph, coords, q, k)
+    sac = communities[0]
+    print("\nSAC community: {} members within radius {:.3f}".format(
+        len(sac), radius))
+    print("  min internal degree: {}".format(
+        sac.minimum_internal_degree()))
+
+    glob = global_search(graph, q, k)[0]
+    global_radius = max(euclidean(coords[v], coords[q]) for v in glob)
+    print("\nGlobal community (structure only): {} members, "
+          "radius {:.3f}".format(len(glob), global_radius))
+
+    print("\nSAC keeps the community {}x geographically tighter with "
+          "the same degree guarantee.".format(
+              round(global_radius / radius, 1)))
+
+    # How local is it, against the planted ground truth?
+    home = next(members for members in truth.values() if q in members)
+    overlap = len(sac.vertices & home) / len(sac)
+    print("{}% of SAC members come from the query user's home "
+          "region.".format(round(100 * overlap)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so ``pip install -e .`` works on
+environments without the ``wheel`` package (legacy editable installs
+go through ``setup.py develop``, which needs this file).
+"""
+
+from setuptools import setup
+
+setup()

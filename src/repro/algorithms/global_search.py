@@ -1,0 +1,60 @@
+"""``Global``: the community-search baseline of Sozio & Gionis [11].
+
+Given a query vertex ``q``, Global peels minimum-degree vertices off
+the whole graph while protecting ``q``; the surviving subgraph is the
+largest connected subgraph containing ``q`` whose minimum internal
+degree is maximal.  With the degree constraint the C-Explorer UI
+exposes ("Global: degree >= 4"), the answer is exactly the connected
+``k``-core containing ``q`` -- which is why Global communities are big
+(305 vertices in the paper's Figure 6 table): they include *everyone*
+who clears the bar, with no locality or keyword pruning.
+"""
+
+from repro.core.community import Community
+from repro.core.kcore import core_decomposition, peel_to_min_degree
+from repro.util.errors import QueryError
+
+
+def global_search(graph, q, k):
+    """Community of ``q`` with min degree >= ``k`` (maximal, connected).
+
+    Returns a list with zero or one :class:`Community` -- empty when
+    ``q`` is not in the k-core.  Implemented as the Sozio-Gionis greedy
+    peel specialised to a fixed ``k``: delete every vertex whose degree
+    falls below ``k``, then keep the component of ``q``.
+    """
+    if q not in graph:
+        raise QueryError("query vertex {!r} not in graph".format(q))
+    if k < 0:
+        raise QueryError("degree constraint k must be >= 0")
+    survivors = peel_to_min_degree(graph, graph.vertices(), k, protect=(q,))
+    if survivors is None:
+        return []
+    comp = {q}
+    frontier = [q]
+    while frontier:
+        u = frontier.pop()
+        for w in graph.neighbors(u):
+            if w in survivors and w not in comp:
+                comp.add(w)
+                frontier.append(w)
+    return [Community(graph, comp, method="Global", query_vertices=(q,),
+                      k=k)]
+
+
+def global_max_min_degree(graph, q):
+    """The original (parameter-free) Global: maximise minimum degree.
+
+    The subgraph containing ``q`` whose minimum degree is as large as
+    possible is the ``core(q)``-core component of ``q`` (the best
+    achievable ``k`` equals the core number of ``q``), so this runs one
+    core decomposition plus a traversal.
+
+    Returns ``(community, k_star)``.
+    """
+    if q not in graph:
+        raise QueryError("query vertex {!r} not in graph".format(q))
+    core = core_decomposition(graph)
+    k_star = core[q]
+    result = global_search(graph, q, k_star)
+    return result[0], k_star

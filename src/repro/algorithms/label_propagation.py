@@ -1,0 +1,65 @@
+"""Asynchronous label propagation (Raghavan et al.) -- the clustering
+stage CODICIL delegates to, and a fast CD method in its own right.
+
+Every vertex starts in its own community; in randomised sweeps each
+vertex adopts the label most common among its neighbours (ties broken
+uniformly at random).  Converges in a handful of sweeps on social
+graphs.  Deterministic under a fixed seed.
+"""
+
+from repro.core.community import Community
+from repro.util.rng import make_rng
+
+
+def label_propagation(graph, max_sweeps=20, seed=0, weights=None,
+                      as_communities=True, method_name="LabelPropagation"):
+    """Cluster ``graph`` by label propagation.
+
+    Parameters
+    ----------
+    weights:
+        Optional ``{(u, v): weight}`` map (u < v) used to weight
+        neighbour votes; CODICIL passes its similarity weights here.
+    as_communities:
+        When True (default) return a list of :class:`Community`;
+        otherwise return the raw ``{vertex: label}`` map.
+
+    Singleton clusters are kept -- callers that dislike them (CODICIL)
+    can merge or drop them.
+    """
+    rng = make_rng(seed)
+    labels = {v: v for v in graph.vertices()}
+    order = list(graph.vertices())
+
+    def edge_weight(u, v):
+        if weights is None:
+            return 1.0
+        return weights.get((u, v) if u < v else (v, u), 1.0)
+
+    for _ in range(max_sweeps):
+        rng.shuffle(order)
+        changed = 0
+        for v in order:
+            votes = {}
+            for u in graph.neighbors(v):
+                lbl = labels[u]
+                votes[lbl] = votes.get(lbl, 0.0) + edge_weight(v, u)
+            if not votes:
+                continue
+            best = max(votes.values())
+            winners = sorted(lbl for lbl, score in votes.items()
+                             if score == best)
+            new = winners[rng.randrange(len(winners))]
+            if new != labels[v]:
+                labels[v] = new
+                changed += 1
+        if not changed:
+            break
+
+    if not as_communities:
+        return labels
+    groups = {}
+    for v, lbl in labels.items():
+        groups.setdefault(lbl, set()).add(v)
+    return [Community(graph, members, method=method_name)
+            for members in groups.values()]

@@ -1,0 +1,97 @@
+"""``Local``: the expansion-based community search of Cui et al. [1].
+
+Where ``Global`` peels the entire graph, ``Local`` grows a candidate
+set outward from the query vertex and stops as soon as the candidate
+set contains a subgraph in which every vertex (including ``q``) has
+degree >= k.  Two consequences the paper's Figure 6 table shows:
+
+* much smaller communities (50 vertices vs Global's 305) -- expansion
+  stops at the first qualifying neighbourhood instead of collecting
+  the entire k-core component;
+* usually faster on large graphs, because only the neighbourhood of
+  ``q`` is touched.
+
+The expansion order follows the Cui et al. heuristic: always add the
+frontier vertex with the most connections into the current candidate
+set (ties broken towards lower global degree, which avoids pulling in
+hub vertices that drag the whole graph behind them).
+"""
+
+from repro.core.community import Community
+from repro.core.kcore import peel_to_min_degree
+from repro.util.errors import QueryError
+from repro.util.heaps import UpdatableMinHeap
+
+
+def local_search(graph, q, k, budget=None, check_interval=None):
+    """Find a community of ``q`` with min internal degree >= ``k``.
+
+    Parameters
+    ----------
+    budget:
+        Maximum number of vertices to absorb before giving up
+        (default: ``max(64, 16 * (k + 1)**2)``, following the "local"
+        spirit -- the candidate set stays small relative to the graph).
+    check_interval:
+        Re-run the k-core check after this many additions (default
+        ``k + 1``, since fewer additions cannot create a new k-core).
+
+    Returns a list with zero or one :class:`Community`.
+    """
+    if q not in graph:
+        raise QueryError("query vertex {!r} not in graph".format(q))
+    if k < 0:
+        raise QueryError("degree constraint k must be >= 0")
+    if graph.degree(q) < k:
+        return []
+    if budget is None:
+        budget = max(64, 16 * (k + 1) ** 2)
+    if check_interval is None:
+        check_interval = max(1, k + 1)
+
+    candidate = {q}
+    # Min-heap over (-connections_to_candidate, global_degree) so the
+    # best-connected, least-hubby frontier vertex pops first.
+    frontier = UpdatableMinHeap()
+    connections = {}
+
+    def absorb(v):
+        candidate.add(v)
+        frontier.discard(v)
+        connections.pop(v, None)
+        for u in graph.neighbors(v):
+            if u in candidate:
+                continue
+            connections[u] = connections.get(u, 0) + 1
+            frontier.push(u, (-connections[u], graph.degree(u)))
+
+    absorb(q)
+    since_check = 0
+    while frontier and len(candidate) < budget:
+        v, _ = frontier.pop()
+        connections.pop(v, None)
+        absorb(v)
+        since_check += 1
+        if since_check >= check_interval:
+            since_check = 0
+            found = _extract(graph, candidate, q, k)
+            if found is not None:
+                return [found]
+    found = _extract(graph, candidate, q, k)
+    return [found] if found is not None else []
+
+
+def _extract(graph, candidate, q, k):
+    """k-core of the candidate set around ``q``, as a Community."""
+    survivors = peel_to_min_degree(graph, candidate, k, protect=())
+    if not survivors or q not in survivors:
+        return None
+    comp = {q}
+    stack = [q]
+    while stack:
+        u = stack.pop()
+        for w in graph.neighbors(u):
+            if w in survivors and w not in comp:
+                comp.add(w)
+                stack.append(w)
+    return Community(graph, comp, method="Local", query_vertices=(q,), k=k)

@@ -1,0 +1,179 @@
+"""Steiner-style connectivity community search (Section 2, ref [6]).
+
+Hu et al. (CIKM 2016) query *minimal Steiner maximum-connected
+subgraphs*: given a set ``Q`` of query vertices, find a subgraph that
+(a) contains ``Q``, (b) maximises cohesiveness, and (c) is minimal --
+no vertex can be dropped without breaking (a)/(b).  The paper lists
+this connectivity-based model as the third cohesiveness family next to
+k-core and k-truss; we implement the k-core flavoured variant:
+
+1. **Maximise**: binary-search the largest ``k*`` such that all of
+   ``Q`` lie in one connected component of the k*-core
+   (:func:`steiner_max_core`).
+2. **Minimise**: inside that component, grow a Steiner connector of
+   ``Q`` (iterative shortest-path joining) and then close it under the
+   degree constraint, finally peeling vertices that are not needed for
+   connectivity, degree-feasibility or ``Q`` membership
+   (:func:`steiner_community_search`).
+
+The result is a small certificate community: every vertex still has
+degree >= k* inside it, it is connected, contains ``Q``, and removing
+any single non-essential vertex has been tried and rejected.
+"""
+
+from collections import deque
+
+from repro.core.community import Community
+from repro.core.kcore import connected_k_core, core_decomposition, \
+    peel_to_min_degree
+from repro.util.errors import QueryError
+
+
+def steiner_max_core(graph, query_vertices):
+    """Largest ``k`` with all query vertices in one k-core component.
+
+    Returns ``(k_star, component_vertices)``; raises
+    :class:`QueryError` when the query vertices are disconnected even
+    at k = 0.
+    """
+    qs = list(dict.fromkeys(query_vertices))
+    if not qs:
+        raise QueryError("at least one query vertex is required")
+    for q in qs:
+        if q not in graph:
+            raise QueryError("query vertex {!r} not in graph".format(q))
+    core = core_decomposition(graph)
+    high = min(core[q] for q in qs)
+    best = None
+    lo, hi = 0, high
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        comp = connected_k_core(graph, qs[0], mid)
+        if comp is not None and all(q in comp for q in qs):
+            best = (mid, comp)
+            lo = mid + 1
+        else:
+            hi = mid - 1
+    if best is None:
+        raise QueryError("query vertices are not connected in the graph")
+    return best
+
+
+def _shortest_path(graph, members, source, targets):
+    """BFS path from ``source`` to the nearest of ``targets`` within
+    ``members``; returns the path vertex list (or None)."""
+    targets = set(targets)
+    parent = {source: None}
+    queue = deque([source])
+    while queue:
+        v = queue.popleft()
+        if v in targets:
+            path = []
+            while v is not None:
+                path.append(v)
+                v = parent[v]
+            return path
+        for u in graph.neighbors(v):
+            if u in members and u not in parent:
+                parent[u] = v
+                queue.append(u)
+    return None
+
+
+def _steiner_connector(graph, members, qs):
+    """Approximate Steiner tree of ``qs`` inside ``members``:
+    iteratively join the next terminal via a shortest path to the
+    current tree (the classic 2-approximation shape)."""
+    tree = {qs[0]}
+    for q in qs[1:]:
+        if q in tree:
+            continue
+        path = _shortest_path(graph, members, q, tree)
+        if path is None:  # cannot happen inside one component
+            raise QueryError("query vertices disconnected in component")
+        tree.update(path)
+    return tree
+
+
+def steiner_community_search(graph, query_vertices, k=None,
+                             max_grow_rounds=50):
+    """Minimal Steiner maximum-connected community of ``Q``.
+
+    ``k=None`` maximises the degree constraint first (the SMCS
+    behaviour); an explicit ``k`` pins it (must not exceed the
+    feasible maximum).  Returns a list with one :class:`Community`.
+    """
+    qs = list(dict.fromkeys(query_vertices))
+    k_star, component = steiner_max_core(graph, qs)
+    if k is not None:
+        if k > k_star:
+            return []
+        k_star = k
+        component = connected_k_core(graph, qs[0], k_star)
+
+    # 1. Steiner connector of the query vertices.
+    seed = _steiner_connector(graph, component, qs)
+
+    # 2. Close under the degree constraint: everyone in the candidate
+    #    needs k* neighbours inside; greedily absorb the best-connected
+    #    component vertices until the peel of the candidate keeps Q.
+    candidate = set(seed)
+    for _ in range(max_grow_rounds):
+        survivors = peel_to_min_degree(graph, candidate, k_star,
+                                       protect=())
+        if survivors and all(q in survivors for q in qs):
+            comp = _component_of(graph, survivors, qs[0])
+            if all(q in comp for q in qs):
+                candidate = comp
+                break
+        # Absorb neighbours of the current candidate, most-connected
+        # first, a batch at a time.
+        frontier = {}
+        for v in candidate:
+            for u in graph.neighbors(v):
+                if u in component and u not in candidate:
+                    frontier[u] = frontier.get(u, 0) + 1
+        if not frontier:
+            candidate = set(component)
+            break
+        batch = sorted(frontier, key=lambda u: (-frontier[u], u))
+        take = max(1, len(candidate) // 2)
+        candidate.update(batch[:take])
+    else:
+        candidate = set(component)
+    survivors = peel_to_min_degree(graph, candidate, k_star, protect=())
+    if not survivors or not all(q in survivors for q in qs):
+        survivors = set(component)
+    members = _component_of(graph, survivors, qs[0])
+
+    # 3. Minimise: try dropping each non-query vertex (smallest degree
+    #    first); keep the drop when the remainder still peels to a
+    #    connected k*-core containing Q.
+    order = sorted((v for v in members if v not in qs),
+                   key=lambda v: sum(1 for u in graph.neighbors(v)
+                                     if u in members))
+    for v in order:
+        if v not in members or len(members) <= len(qs):
+            continue
+        trial = peel_to_min_degree(graph, members - {v}, k_star,
+                                   protect=())
+        if not trial or not all(q in trial for q in qs):
+            continue
+        comp = _component_of(graph, trial, qs[0])
+        if all(q in comp for q in comp & set(qs)) and \
+                all(q in comp for q in qs):
+            members = comp
+    return [Community(graph, members, method="Steiner",
+                      query_vertices=tuple(qs), k=k_star)]
+
+
+def _component_of(graph, members, source):
+    comp = {source}
+    stack = [source]
+    while stack:
+        v = stack.pop()
+        for u in graph.neighbors(v):
+            if u in members and u not in comp:
+                comp.add(u)
+                stack.append(u)
+    return comp

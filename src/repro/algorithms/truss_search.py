@@ -1,0 +1,70 @@
+"""k-truss community search (Huang et al., SIGMOD 2014 [7]).
+
+The truss-based community model the paper cites as the other structure
+cohesiveness: a *k-truss community* of query vertex ``q`` is a maximal
+subgraph in which (a) every edge has truss number >= k, i.e. closes at
+least ``k - 2`` triangles inside the subgraph, and (b) any two edges
+are connected through a chain of adjacent triangles ("triangle
+connectivity") -- which prevents the cut-vertex artefacts plain k-core
+communities can exhibit.  One query vertex can belong to several
+k-truss communities (one per triangle-connected bundle of its edges),
+just as ACQ can return several communities per query.
+"""
+
+from repro.core.community import Community
+from repro.core.ktruss import truss_decomposition
+from repro.util.errors import QueryError
+
+
+def truss_community_search(graph, q, k, truss=None):
+    """All k-truss communities containing ``q``.
+
+    Parameters
+    ----------
+    truss:
+        Optional precomputed :func:`truss_decomposition` result, reused
+        across queries the way C-Explorer's index module would.
+
+    Returns a list of :class:`Community`, largest first.
+    """
+    if q not in graph:
+        raise QueryError("query vertex {!r} not in graph".format(q))
+    if k < 2:
+        raise QueryError("k must be >= 2 for a k-truss community")
+    if truss is None:
+        truss = truss_decomposition(graph)
+
+    def edge_key(u, v):
+        return (u, v) if u < v else (v, u)
+
+    def strong(u, v):
+        return truss.get(edge_key(u, v), 0) >= k
+
+    # BFS over edges through shared triangles whose three edges are all
+    # strong (the Huang et al. triangle-connectivity relation).
+    seed_edges = [edge_key(q, u) for u in graph.neighbors(q)
+                  if strong(q, u)]
+    visited = set()
+    communities = []
+    for seed in seed_edges:
+        if seed in visited:
+            continue
+        bundle = {seed}
+        visited.add(seed)
+        stack = [seed]
+        while stack:
+            u, v = stack.pop()
+            nu, nv = graph.neighbors(u), graph.neighbors(v)
+            small, large = (nu, nv) if len(nu) <= len(nv) else (nv, nu)
+            for w in small:
+                if w in large and strong(u, w) and strong(v, w):
+                    for nxt in (edge_key(u, w), edge_key(v, w)):
+                        if nxt not in visited:
+                            visited.add(nxt)
+                            bundle.add(nxt)
+                            stack.append(nxt)
+        members = {x for e in bundle for x in e}
+        communities.append(Community(graph, members, method="k-truss",
+                                     query_vertices=(q,), k=k))
+    communities.sort(key=lambda c: (-len(c), sorted(c.vertices)))
+    return communities

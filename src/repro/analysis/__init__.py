@@ -1,0 +1,59 @@
+"""Comparison-analysis facilities (Section 4, Figure 6).
+
+* :mod:`repro.analysis.metrics` -- the CPJ and CMF community-quality
+  metrics of the ACQ paper, plus density/conductance/modularity
+  helpers;
+* :mod:`repro.analysis.statistics` -- the per-method statistics table
+  (communities, vertices, edges, average degree);
+* :mod:`repro.analysis.comparison` -- the module that runs several CR
+  algorithms on one query and assembles the full Figure 6 report.
+"""
+
+from repro.analysis.batch import (
+    batch_evaluate,
+    format_batch_table,
+    pick_query_vertices,
+)
+from repro.analysis.comparison import ComparisonReport, compare_methods
+from repro.analysis.graph_stats import graph_summary
+from repro.analysis.ground_truth import (
+    ari,
+    evaluate_partition,
+    f1_score,
+    nmi,
+    partition_f1,
+)
+from repro.analysis.metrics import (
+    cmf,
+    community_conductance,
+    community_density,
+    cpj,
+    keyword_jaccard,
+    similarity_matrix,
+)
+from repro.analysis.statistics import community_statistics, statistics_table
+from repro.analysis.themes import infer_theme, theme_of
+
+__all__ = [
+    "ComparisonReport",
+    "ari",
+    "batch_evaluate",
+    "cmf",
+    "format_batch_table",
+    "graph_summary",
+    "infer_theme",
+    "pick_query_vertices",
+    "theme_of",
+    "evaluate_partition",
+    "f1_score",
+    "nmi",
+    "partition_f1",
+    "community_conductance",
+    "community_density",
+    "community_statistics",
+    "compare_methods",
+    "cpj",
+    "keyword_jaccard",
+    "similarity_matrix",
+    "statistics_table",
+]

@@ -1,0 +1,119 @@
+"""The Comparison Analysis module (Figure 3, right; Figure 6).
+
+Runs several CR algorithms on the same query and assembles everything
+the analysis screen shows: the statistics table, the CPJ/CMF bar data,
+pairwise overlap between methods' communities, and the per-method
+community lists for the "view" links.
+"""
+
+import time
+
+from repro.algorithms.registry import get_cs_algorithm
+from repro.analysis.metrics import cmf, cpj
+from repro.analysis.statistics import format_table, statistics_table
+
+
+class ComparisonReport:
+    """Everything the Figure 6 analysis screen displays, as data."""
+
+    def __init__(self, query_vertex, k, results, timings):
+        self.query_vertex = query_vertex
+        self.k = k
+        self.results = results      # method -> list[Community]
+        self.timings = timings      # method -> seconds
+
+    def table_rows(self):
+        """Figure 6(a) statistics table rows."""
+        return statistics_table(self.results, query_vertex=self.query_vertex)
+
+    def quality_bars(self):
+        """CPJ / CMF per method -- the bar charts of Figure 6(a).
+
+        Returns ``{method: {"cpj": float, "cmf": float}}``, averaging
+        across each method's communities.
+        """
+        bars = {}
+        for method, communities in self.results.items():
+            if not communities:
+                bars[method] = {"cpj": 0.0, "cmf": 0.0}
+                continue
+            bars[method] = {
+                "cpj": round(sum(cpj(c) for c in communities)
+                             / len(communities), 4),
+                "cmf": round(sum(cmf(c, query_vertex=self.query_vertex)
+                                 for c in communities)
+                             / len(communities), 4),
+            }
+        return bars
+
+    def overlap_matrix(self):
+        """Jaccard overlap of member sets between methods' top results.
+
+        The "Similarity Analysis" panel: how much do the communities
+        found by different algorithms actually agree?
+        """
+        methods = [m for m, cs in self.results.items() if cs]
+        matrix = {}
+        for a in methods:
+            va = set().union(*(c.vertices for c in self.results[a]))
+            for b in methods:
+                vb = set().union(*(c.vertices for c in self.results[b]))
+                inter = len(va & vb)
+                union = len(va | vb)
+                matrix[(a, b)] = round(inter / union, 4) if union else 0.0
+        return matrix
+
+    def render_text(self):
+        """The whole report as text (the demo's terminal rendering)."""
+        lines = ["Comparison analysis (q={}, k={})".format(
+            self.query_vertex, self.k), ""]
+        lines.append(format_table(self.table_rows()))
+        lines.append("")
+        lines.append("Quality (higher is better):")
+        for method, bars in self.quality_bars().items():
+            lines.append("  {:<12} CPJ={:<8} CMF={:<8}".format(
+                method, bars["cpj"], bars["cmf"]))
+        lines.append("")
+        lines.append("Query time (seconds):")
+        for method, seconds in self.timings.items():
+            lines.append("  {:<12} {:.4f}".format(method, seconds))
+        return "\n".join(lines)
+
+    def to_dict(self):
+        """JSON document for the HTTP `analyze` endpoint."""
+        return {
+            "query_vertex": self.query_vertex,
+            "k": self.k,
+            "table": self.table_rows(),
+            "quality": self.quality_bars(),
+            "timings": {m: round(t, 6) for m, t in self.timings.items()},
+            "communities": {m: [c.to_dict() for c in cs]
+                            for m, cs in self.results.items()},
+        }
+
+
+def compare_methods(graph, q, k, methods=("global", "local", "codicil",
+                                          "acq"), keywords=None,
+                    method_params=None):
+    """Run each named CS algorithm on ``(q, k)`` and build the report.
+
+    ``method_params`` maps method name -> extra kwargs (e.g. a prebuilt
+    CL-tree for ``acq`` or a precomputed partition for ``codicil``).
+    Methods that raise are recorded with an empty result rather than
+    aborting the whole comparison, mirroring the UI's per-method error
+    chips.
+    """
+    method_params = method_params or {}
+    results = {}
+    timings = {}
+    for name in methods:
+        algo = get_cs_algorithm(name)
+        params = dict(method_params.get(name, {}))
+        start = time.perf_counter()
+        try:
+            communities = algo(graph, q, k, keywords=keywords, **params)
+        except Exception:
+            communities = []
+        timings[name] = time.perf_counter() - start
+        results[name] = communities
+    return ComparisonReport(q, k, results, timings)

@@ -1,0 +1,71 @@
+"""Theme inference for arbitrary communities.
+
+ACQ communities carry their theme by construction (the shared keyword
+set ``L``); communities from structure-only methods (Global, Local,
+CODICIL, k-truss) do not.  The UI still wants a "Theme:" line for
+them, so this module infers one: the keywords that are both *frequent
+inside* the community and *distinctive against* the rest of the graph
+(a plain frequency list would return "data, system, ..." for every
+community).
+"""
+
+import math
+
+
+def keyword_frequencies(community):
+    """``{keyword: fraction of members carrying it}``."""
+    graph = community.graph
+    counts = {}
+    for v in community:
+        for w in graph.keywords(v):
+            counts[w] = counts.get(w, 0) + 1
+    n = len(community)
+    return {w: c / n for w, c in counts.items()}
+
+
+def infer_theme(community, top=8, min_support=0.3, distinctive=True):
+    """The community's inferred theme keywords, best first.
+
+    Parameters
+    ----------
+    min_support:
+        Keywords carried by fewer than this fraction of members never
+        make the theme.
+    distinctive:
+        When True (default), keyword scores are support times an
+        IDF-style rarity weight over the whole graph, so globally
+        ubiquitous words lose to community-specific topics.  When
+        False, raw support decides (the naive frequency list).
+    """
+    graph = community.graph
+    support = keyword_frequencies(community)
+    candidates = {w: s for w, s in support.items() if s >= min_support}
+    if not candidates:
+        # Degenerate community; fall back to whatever exists.
+        candidates = support
+    if not distinctive:
+        ranked = sorted(candidates,
+                        key=lambda w: (-candidates[w], w))
+        return ranked[:top]
+    n = graph.vertex_count
+    members = community.vertices
+    scores = {}
+    for w in candidates:
+        outside = 0
+        # Document frequency outside the community, computed lazily
+        # only for candidate words (candidate sets are small).
+        for v in graph.vertices():
+            if v not in members and w in graph.keywords(v):
+                outside += 1
+        rarity = math.log(1.0 + n / (1.0 + outside))
+        scores[w] = candidates[w] * rarity
+    ranked = sorted(scores, key=lambda w: (-scores[w], w))
+    return ranked[:top]
+
+
+def theme_of(community, top=8):
+    """The theme the UI displays: shared keywords when the community
+    is attributed, inferred keywords otherwise."""
+    if community.shared_keywords:
+        return community.theme(limit=top)
+    return infer_theme(community, top=top)

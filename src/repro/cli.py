@@ -1,0 +1,215 @@
+"""Command-line interface: the system without the browser.
+
+Subcommands mirror the paper's API (Figure 4) plus operational verbs::
+
+    python -m repro generate --authors 2000 --out dblp.json
+    python -m repro search   --graph dblp.json --vertex "jim gray" -k 4
+    python -m repro compare  --graph dblp.json --vertex "jim gray" -k 4
+    python -m repro detect   --graph dblp.json --algorithm codicil
+    python -m repro index    --graph dblp.json --out dblp.cltree.json
+    python -m repro profile  --name "Michael Stonebraker"
+    python -m repro serve    --graph dblp.json --port 8080
+
+Every subcommand prints human-readable text by default; ``--json``
+switches to machine-readable output.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.analysis.statistics import format_table
+from repro.core.persistence import load_cltree, save_cltree
+from repro.datasets import DblpConfig, generate_dblp_graph
+from repro.explorer.cexplorer import CExplorer
+from repro.explorer.profiles import ProfileStore
+from repro.graph.io import write_graph_json
+from repro.server.app import make_server
+from repro.util.errors import CExplorerError
+
+
+def _load_explorer(args):
+    explorer = CExplorer()
+    explorer.upload(args.graph, name="cli")
+    if getattr(args, "index", None):
+        tree = load_cltree(args.index, explorer.graph)
+        explorer._graphs["cli"].index = tree
+        explorer._graphs["cli"].core = tree.core
+    return explorer
+
+
+def _cmd_generate(args):
+    config = DblpConfig(n_authors=args.authors,
+                        n_communities=args.communities, seed=args.seed)
+    graph = generate_dblp_graph(config)
+    write_graph_json(graph, args.out)
+    print("wrote {} ({} vertices, {} edges)".format(
+        args.out, graph.vertex_count, graph.edge_count))
+    return 0
+
+
+def _cmd_search(args):
+    explorer = _load_explorer(args)
+    communities = explorer.search(
+        args.algorithm, args.vertex, k=args.k,
+        keywords=set(args.keywords) if args.keywords else None)
+    if args.json:
+        print(json.dumps([c.to_dict() for c in communities], indent=1))
+        return 0
+    if not communities:
+        print("no community found for {!r} with k={}".format(
+            args.vertex, args.k))
+        return 1
+    for i, community in enumerate(communities, start=1):
+        print("Community {} ({} members, {} edges, theme: {})".format(
+            i, community.vertex_count, community.edge_count,
+            ", ".join(community.theme(limit=6)) or "-"))
+        for name in community.member_names():
+            print("  -", name)
+        if args.draw:
+            print(explorer.display(community, fmt="ascii"))
+    return 0
+
+
+def _cmd_compare(args):
+    explorer = _load_explorer(args)
+    report = explorer.compare(args.vertex, k=args.k,
+                              methods=tuple(args.methods))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=1))
+    else:
+        print(report.render_text())
+    return 0
+
+
+def _cmd_detect(args):
+    explorer = _load_explorer(args)
+    communities = explorer.detect(args.algorithm)
+    if args.json:
+        print(json.dumps([c.to_dict() for c in communities[:args.limit]],
+                         indent=1))
+        return 0
+    print("{} communities".format(len(communities)))
+    rows = [{"method": "#{} ({})".format(i + 1, args.algorithm),
+             "communities": 1, "vertices": len(c),
+             "edges": c.edge_count,
+             "degree": round(c.average_degree, 2)}
+            for i, c in enumerate(communities[:args.limit])]
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_index(args):
+    explorer = _load_explorer(args)
+    tree = explorer.index()
+    save_cltree(tree, args.out)
+    sizes = tree.index_size()
+    print("wrote {} ({} nodes, {} postings, built in {:.3f}s)".format(
+        args.out, sizes["nodes"], sizes["postings"],
+        tree.build_seconds))
+    return 0
+
+
+def _cmd_profile(args):
+    profile = ProfileStore().get(args.name)
+    if args.json:
+        print(json.dumps(profile.to_dict(), indent=1))
+    else:
+        print(profile.render_text())
+    return 0
+
+
+def _cmd_serve(args):
+    explorer = _load_explorer(args)
+    explorer.index()
+    server = make_server(explorer, host=args.host, port=args.port)
+    host, port = server.server_address
+    print("C-Explorer serving on http://{}:{}/".format(host, port))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.shutdown()
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="C-Explorer: browsing communities in large graphs")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="generate a synthetic DBLP graph")
+    p.add_argument("--authors", type=int, default=2000)
+    p.add_argument("--communities", type=int, default=24)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    def common(p, with_vertex=True):
+        p.add_argument("--graph", required=True,
+                       help="edge-list or JSON graph file")
+        p.add_argument("--index", help="prebuilt CL-tree JSON")
+        p.add_argument("--json", action="store_true",
+                       help="machine-readable output")
+        if with_vertex:
+            p.add_argument("--vertex", required=True)
+            p.add_argument("-k", type=int, default=4,
+                           help="minimum degree (default 4)")
+
+    p = sub.add_parser("search", help="community search for a vertex")
+    common(p)
+    p.add_argument("--algorithm", default="acq")
+    p.add_argument("--keywords", nargs="*",
+                   help="restrict S to these keywords")
+    p.add_argument("--draw", action="store_true",
+                   help="ASCII-render each community")
+    p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser("compare", help="Figure 6 comparison analysis")
+    common(p)
+    p.add_argument("--methods", nargs="+",
+                   default=["global", "local", "codicil", "acq"])
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("detect", help="whole-graph community detection")
+    common(p, with_vertex=False)
+    p.add_argument("--algorithm", default="label-propagation")
+    p.add_argument("--limit", type=int, default=20)
+    p.set_defaults(func=_cmd_detect)
+
+    p = sub.add_parser("index", help="build and save the CL-tree")
+    common(p, with_vertex=False)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_index)
+
+    p = sub.add_parser("profile", help="show an author profile card")
+    p.add_argument("--name", required=True)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("serve", help="run the web system")
+    common(p, with_vertex=False)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8080)
+    p.set_defaults(func=_cmd_serve)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except CExplorerError as exc:
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output was piped into e.g. `head`; not an error.
+        devnull = open("/dev/null", "w")
+        sys.stdout = devnull
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

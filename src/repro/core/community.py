@@ -1,0 +1,141 @@
+"""The community result type shared by every CR algorithm.
+
+A :class:`Community` is an immutable set of vertex ids plus the
+metadata the C-Explorer UI displays: the algorithm that produced it,
+the query vertex/vertices, the minimum-degree parameter, and -- for
+attributed communities -- the shared keyword set ``L(Gq, S)`` that
+defines the community's *theme* (Figure 1, right panel).
+"""
+
+
+class Community:
+    """An extracted community.
+
+    Instances are hashable and compare by (vertex set, shared
+    keywords), so deduplicating ACQ results or intersecting results
+    from different methods works with plain set operations.
+    """
+
+    __slots__ = ("_graph", "_vertices", "shared_keywords", "method",
+                 "query_vertices", "k")
+
+    def __init__(self, graph, vertices, method="unknown",
+                 query_vertices=(), k=None, shared_keywords=()):
+        self._graph = graph
+        self._vertices = frozenset(vertices)
+        if not self._vertices:
+            raise ValueError("a community cannot be empty")
+        self.shared_keywords = frozenset(shared_keywords)
+        self.method = method
+        self.query_vertices = tuple(query_vertices)
+        self.k = k
+
+    # ------------------------------------------------------------------
+    # set-like behaviour
+    # ------------------------------------------------------------------
+    @property
+    def graph(self):
+        return self._graph
+
+    @property
+    def vertices(self):
+        return self._vertices
+
+    def __len__(self):
+        return len(self._vertices)
+
+    def __iter__(self):
+        return iter(self._vertices)
+
+    def __contains__(self, v):
+        return v in self._vertices
+
+    def __eq__(self, other):
+        if not isinstance(other, Community):
+            return NotImplemented
+        return (self._vertices == other._vertices
+                and self.shared_keywords == other.shared_keywords)
+
+    def __hash__(self):
+        return hash((self._vertices, self.shared_keywords))
+
+    # ------------------------------------------------------------------
+    # statistics shown in the Fig. 6 table
+    # ------------------------------------------------------------------
+    @property
+    def vertex_count(self):
+        return len(self._vertices)
+
+    @property
+    def edge_count(self):
+        """Number of edges of G induced on the community."""
+        members = self._vertices
+        half = 0
+        for v in members:
+            for u in self._graph.neighbors(v):
+                if u in members:
+                    half += 1
+        return half // 2
+
+    @property
+    def average_degree(self):
+        """Average vertex degree inside the community."""
+        n = len(self._vertices)
+        return (2.0 * self.edge_count / n) if n else 0.0
+
+    def minimum_internal_degree(self):
+        """Smallest within-community degree (the cohesion guarantee)."""
+        members = self._vertices
+        return min(
+            sum(1 for u in self._graph.neighbors(v) if u in members)
+            for v in members
+        )
+
+    def internal_degree(self, v):
+        """Degree of ``v`` counting only community-internal edges."""
+        if v not in self._vertices:
+            raise KeyError(v)
+        members = self._vertices
+        return sum(1 for u in self._graph.neighbors(v) if u in members)
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+    def member_names(self):
+        """Display names of members, sorted for stable output."""
+        return sorted(self._graph.display_name(v) for v in self._vertices)
+
+    def theme(self, limit=None):
+        """The community theme: its shared keywords, sorted.
+
+        The UI renders this as e.g. ``Theme: transaction, data, ...``.
+        """
+        words = sorted(self.shared_keywords)
+        return words[:limit] if limit is not None else words
+
+    def induced_edges(self):
+        """Yield community-internal edges as ``(u, v)`` pairs, u < v."""
+        members = self._vertices
+        for v in members:
+            for u in self._graph.neighbors(v):
+                if v < u and u in members:
+                    yield (v, u)
+
+    def to_dict(self):
+        """JSON-friendly representation used by the HTTP server."""
+        return {
+            "method": self.method,
+            "k": self.k,
+            "query_vertices": [self._graph.display_name(q)
+                               for q in self.query_vertices],
+            "vertices": self.member_names(),
+            "vertex_count": self.vertex_count,
+            "edge_count": self.edge_count,
+            "average_degree": round(self.average_degree, 2),
+            "theme": self.theme(),
+        }
+
+    def __repr__(self):
+        return ("Community(method={!r}, n={}, m={}, theme={})"
+                .format(self.method, self.vertex_count, self.edge_count,
+                        self.theme(limit=5)))

@@ -1,0 +1,143 @@
+"""k-core decomposition and peeling.
+
+The k-core ``H_k`` is the largest subgraph in which every vertex has
+degree at least ``k`` (Section 3.2).  Three entry points matter to the
+rest of the system:
+
+* :func:`core_decomposition` -- every vertex's core number in O(n + m)
+  (Batagelj & Zaversnik bucket peeling).  The CL-tree builder and the
+  statistics module consume this.
+* :func:`peel_to_min_degree` -- generic "remove vertices of degree < k
+  until stable" over an arbitrary candidate set; the verification
+  primitive shared by ACQ, Global and Local.
+* :func:`connected_k_core` -- the connected component of ``H_k``
+  containing a query vertex, i.e. exactly what the ``Global`` baseline
+  returns for a fixed ``k``.
+"""
+
+
+def core_decomposition(graph):
+    """Return ``core`` with ``core[v]`` = core number of vertex ``v``.
+
+    Implements the Batagelj-Zaversnik O(n + m) algorithm: vertices are
+    kept in an array sorted by current degree with bucket boundaries,
+    and each removal decrements neighbours in place.
+    """
+    n = graph.vertex_count
+    if n == 0:
+        return []
+    degree = [graph.degree(v) for v in graph.vertices()]
+    max_degree = max(degree)
+
+    # bin_start[d] = index in `order` of the first vertex of degree d.
+    bin_count = [0] * (max_degree + 1)
+    for d in degree:
+        bin_count[d] += 1
+    bin_start = [0] * (max_degree + 1)
+    total = 0
+    for d in range(max_degree + 1):
+        bin_start[d] = total
+        total += bin_count[d]
+
+    order = [0] * n           # vertices sorted by current degree
+    position = [0] * n        # position of each vertex in `order`
+    fill = list(bin_start)
+    for v in range(n):
+        position[v] = fill[degree[v]]
+        order[position[v]] = v
+        fill[degree[v]] += 1
+
+    core = list(degree)
+    for i in range(n):
+        v = order[i]
+        core_v = core[v]
+        for u in graph.neighbors(v):
+            if core[u] > core_v:
+                # Move u one bucket down: swap it with the first vertex
+                # of its current bucket, then shift the boundary.
+                du = core[u]
+                pu = position[u]
+                pw = bin_start[du]
+                w = order[pw]
+                if u != w:
+                    order[pu], order[pw] = w, u
+                    position[u], position[w] = pw, pu
+                bin_start[du] += 1
+                core[u] -= 1
+    return core
+
+
+def max_core_number(graph):
+    """Largest k such that the k-core is non-empty (0 for empty graph)."""
+    core = core_decomposition(graph)
+    return max(core) if core else 0
+
+
+def k_core(graph, k):
+    """Vertex set of ``H_k``, the (possibly disconnected) k-core."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    core = core_decomposition(graph)
+    return {v for v in graph.vertices() if core[v] >= k}
+
+
+def peel_to_min_degree(graph, candidates, k, protect=()):
+    """Largest subset of ``candidates`` whose induced min degree >= k.
+
+    Iteratively deletes vertices whose degree within the surviving set
+    is below ``k``.  If any vertex in ``protect`` is deleted the peel
+    is considered failed and ``None`` is returned -- this is how ACQ
+    verification notices that the query vertex cannot survive.
+
+    Runs in O(sum of candidate degrees).
+    """
+    alive = set(candidates)
+    protect = set(protect)
+    if not protect <= alive:
+        return None
+    deg = {}
+    queue = []
+    for v in alive:
+        d = sum(1 for u in graph.neighbors(v) if u in alive)
+        deg[v] = d
+        if d < k:
+            queue.append(v)
+    removed = set(queue)
+    while queue:
+        v = queue.pop()
+        if v in protect:
+            return None
+        alive.discard(v)
+        for u in graph.neighbors(v):
+            if u in alive:
+                deg[u] -= 1
+                if deg[u] < k and u not in removed:
+                    removed.add(u)
+                    queue.append(u)
+    if not protect <= alive:
+        return None
+    return alive
+
+
+def connected_k_core(graph, q, k):
+    """Connected component of ``H_k`` containing ``q``; None if absent.
+
+    This is the community the ``Global`` algorithm (Sozio & Gionis)
+    returns when the user fixes the degree constraint to ``k`` -- the
+    largest connected subgraph containing ``q`` with min degree >= k.
+    """
+    core = core_decomposition(graph)
+    if core[q] < k:
+        return None
+    member = {v for v in graph.vertices() if core[v] >= k}
+    seen = {q}
+    frontier = [q]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for w in graph.neighbors(u):
+                if w in member and w not in seen:
+                    seen.add(w)
+                    nxt.append(w)
+        frontier = nxt
+    return seen

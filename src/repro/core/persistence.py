@@ -1,0 +1,97 @@
+"""CL-tree persistence: the offline index artefact.
+
+The paper's Indexing module builds the CL-tree offline; a deployment
+wants to build once and reload on server restart instead of paying the
+decomposition again.  The format stores the tree topology and core
+numbers; inverted lists are rebuilt from the graph on load (they are
+derived data, and storing them would double the artefact for no read
+benefit).
+"""
+
+import json
+
+from repro.core.cltree import CLTree, CLTreeNode
+from repro.util.errors import GraphFormatError
+
+_FORMAT = "c-explorer-cltree"
+
+
+def cltree_to_dict(tree):
+    """Serialise a CL-tree to a JSON-ready document."""
+    nodes = []
+    for root in tree.roots:
+        for node in root.subtree_nodes():
+            nodes.append({
+                "id": node.node_id,
+                "k": node.k,
+                "vertices": list(node.vertices),
+                "children": [c.node_id for c in node.children],
+            })
+    return {
+        "format": _FORMAT,
+        "version": 1,
+        "core": list(tree.core),
+        "roots": [r.node_id for r in tree.roots],
+        "nodes": nodes,
+    }
+
+
+def save_cltree(tree, path):
+    """Write the index document to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(cltree_to_dict(tree), f)
+    return path
+
+
+def cltree_from_dict(doc, graph):
+    """Rebuild a CL-tree over ``graph`` from a serialised document.
+
+    The graph must be the one the index was built from (checked via
+    vertex count and homed-vertex coverage).
+    """
+    if doc.get("format") != _FORMAT:
+        raise GraphFormatError("not a c-explorer-cltree document")
+    core = list(doc["core"])
+    if len(core) != graph.vertex_count:
+        raise GraphFormatError(
+            "index built for {} vertices, graph has {}".format(
+                len(core), graph.vertex_count))
+    for entry in doc["nodes"]:
+        for v in entry["vertices"]:
+            if not isinstance(v, int) or not 0 <= v < graph.vertex_count:
+                raise GraphFormatError(
+                    "node {} homes unknown vertex {!r}".format(
+                        entry["id"], v))
+    nodes = {}
+    for entry in doc["nodes"]:
+        node = CLTreeNode(entry["id"], entry["k"], entry["vertices"],
+                          graph)
+        nodes[entry["id"]] = node
+    homed = 0
+    node_of = [None] * graph.vertex_count
+    for entry in doc["nodes"]:
+        node = nodes[entry["id"]]
+        for child_id in entry["children"]:
+            child = nodes.get(child_id)
+            if child is None:
+                raise GraphFormatError(
+                    "node {} references missing child {}".format(
+                        entry["id"], child_id))
+            child.parent = node
+            node.children.append(child)
+        for v in node.vertices:
+            node_of[v] = node
+            homed += 1
+    if homed != graph.vertex_count:
+        raise GraphFormatError(
+            "index homes {} vertices, graph has {}".format(
+                homed, graph.vertex_count))
+    roots = [nodes[rid] for rid in doc["roots"]]
+    return CLTree(graph, roots, node_of, core)
+
+
+def load_cltree(path, graph):
+    """Read an index document from ``path`` and attach it to ``graph``."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return cltree_from_dict(doc, graph)

@@ -1,0 +1,58 @@
+"""The running example of the paper: Figure 5(a).
+
+Ten vertices ``A .. J``, eleven edges, keyword sets::
+
+    A:{w, x, y}  B:{x}       C:{x, y}  D:{x, y, z}  E:{y, z}
+    F:{y}        G:{x, y}    H:{y, z}  I:{x}        J:{x}
+
+Core numbers (paper, Figure 5(b)): A, B, C, D -> 3; E -> 2;
+F, G, H, I -> 1; J -> 0.
+
+The paper gives the edge set only as a drawing; the edge list below is
+a reconstruction consistent with every fact the text states: {A,B,C,D}
+forms a 3-core (K4), E attaches to it with two edges making {A..E} the
+2-core component, F and G hang off as the 1-core fringe (so the 1-core
+component is {A..G}), H and I form a separate 1-core pair, and J is an
+isolated vertex -- core number 0, exactly as the Figure 5(b) table
+lists.  The CL-tree over it therefore has the paper's shape: a single
+k=0 root homing J, with two k=1 children ({F, G} above {E} above
+{A, B, C, D}, and {H, I}).  The worked ACQ example holds on it: for
+q=A, k=2, S={w,x,y} the answer is the subgraph on {A, C, D} sharing
+the two keywords {x, y}.
+"""
+
+from repro.graph.attributed import AttributedGraph
+
+_KEYWORDS = {
+    "A": "wxy",
+    "B": "x",
+    "C": "xy",
+    "D": "xyz",
+    "E": "yz",
+    "F": "y",
+    "G": "xy",
+    "H": "yz",
+    "I": "x",
+    "J": "x",
+}
+
+_EDGES = [
+    # K4 on A, B, C, D: the 3-core.
+    ("A", "B"), ("A", "C"), ("A", "D"), ("B", "C"), ("B", "D"), ("C", "D"),
+    # E attaches with two edges: core number 2.
+    ("E", "A"), ("E", "B"),
+    # F-G chain off E: core number 1 fringe of the big component.
+    ("F", "E"), ("G", "F"),
+    # H-I: a separate 1-core pair.  J stays isolated (core number 0).
+    ("H", "I"),
+]
+
+
+def figure5_graph():
+    """Build the Figure 5(a) graph; labels are "A".."J"."""
+    graph = AttributedGraph()
+    for name in sorted(_KEYWORDS):
+        graph.add_vertex(name, set(_KEYWORDS[name]))
+    for a, b in _EDGES:
+        graph.add_edge(graph.id_of(a), graph.id_of(b))
+    return graph

@@ -1,0 +1,12 @@
+"""The user-facing system: the ``CExplorer`` facade and profiles.
+
+:class:`~repro.explorer.cexplorer.CExplorer` is the Python rendering
+of the paper's Java interface (Figure 4): ``upload``, ``search``,
+``detect``, ``analyze``, ``display``, plus the profile lookups behind
+the Figure 2 author pop-up.
+"""
+
+from repro.explorer.cexplorer import CExplorer
+from repro.explorer.profiles import AuthorProfile, ProfileStore
+
+__all__ = ["AuthorProfile", "CExplorer", "ProfileStore"]

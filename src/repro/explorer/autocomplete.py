@@ -1,0 +1,80 @@
+"""Author-name autocompletion for the query box.
+
+The demo UI's name field ("jim gray" with a "+" to add more authors)
+needs fast prefix lookup over a million author names.  A compressed-
+enough character trie gives O(|prefix| + results) suggestions; lookups
+are case-insensitive, matching how the demo accepts "jim gray" for
+"Jim Gray".
+"""
+
+
+class _TrieNode:
+    __slots__ = ("children", "name")
+
+    def __init__(self):
+        self.children = {}
+        self.name = None  # set on terminal nodes to the original name
+
+
+class NameIndex:
+    """Prefix index over vertex display names.
+
+    >>> index = NameIndex(["Jim Gray", "Jennifer Widom"])
+    >>> index.suggest("ji")
+    ['Jim Gray']
+    """
+
+    def __init__(self, names=()):
+        self._root = _TrieNode()
+        self._count = 0
+        for name in names:
+            self.add(name)
+
+    @classmethod
+    def from_graph(cls, graph):
+        """Index every display name of ``graph``."""
+        return cls(graph.display_name(v) for v in graph.vertices())
+
+    def __len__(self):
+        return self._count
+
+    def add(self, name):
+        """Insert ``name``; duplicates are ignored."""
+        node = self._root
+        for ch in name.lower():
+            node = node.children.setdefault(ch, _TrieNode())
+        if node.name is None:
+            node.name = name
+            self._count += 1
+
+    def __contains__(self, name):
+        node = self._find(name.lower())
+        return node is not None and node.name is not None
+
+    def suggest(self, prefix, limit=10):
+        """Up to ``limit`` names starting with ``prefix`` (sorted).
+
+        An empty prefix returns the lexicographically first names --
+        what the UI shows before the user types.
+        """
+        node = self._find(prefix.lower())
+        if node is None:
+            return []
+        out = []
+        # Iterative DFS in sorted-child order yields sorted names.
+        stack = [node]
+        while stack and len(out) < limit:
+            current = stack.pop()
+            if current.name is not None:
+                out.append(current.name)
+            for ch in sorted(current.children, reverse=True):
+                stack.append(current.children[ch])
+        return out[:limit]
+
+    def _find(self, prefix):
+        node = self._root
+        for ch in prefix:
+            node = node.children.get(ch)
+            if node is None:
+                return None
+        return node

@@ -1,0 +1,304 @@
+"""The ``CExplorer`` facade: the paper's API (Section 3.1, Figure 4).
+
+The Java interface the paper publishes is::
+
+    public interface CExplorer {
+        public void upload(String filePath);
+        public List<Community> search(CSAlgorithm algo, Query query);
+        public List<Community> detect(CDAlgorithm algo);
+        public void analyze(Community community);
+        public void display(Community community);
+    }
+
+This class is its Python equivalent, extended with the surrounding
+system behaviour the paper describes: graph management (several named
+graphs can be uploaded, Figure 3 shows Facebook and DBLP side by
+side), lazy CL-tree indexing per graph (the Indexing module), the
+profile store, and keyword/degree suggestions for the left panel of
+the UI.
+"""
+
+import time
+
+from repro.algorithms.registry import (
+    get_cd_algorithm,
+    get_cs_algorithm,
+    list_cd_algorithms,
+    list_cs_algorithms,
+)
+from repro.analysis.comparison import compare_methods
+from repro.analysis.graph_stats import graph_summary
+from repro.analysis.metrics import cmf, community_conductance, \
+    community_density, cpj
+from repro.core.cltree import build_cltree
+from repro.core.kcore import core_decomposition
+from repro.explorer.autocomplete import NameIndex
+from repro.explorer.profiles import ProfileStore
+from repro.explorer.sessions import QueryCache
+from repro.graph.io import load_graph
+from repro.graph.validation import validate_graph
+from repro.util.errors import CExplorerError, QueryError
+from repro.viz.layout import circular_layout, ego_layout, spring_layout
+from repro.viz.render import render_ascii, render_svg
+
+
+class _GraphEntry:
+    """A registered graph plus its lazily built derived structures."""
+
+    __slots__ = ("name", "graph", "index", "core", "names", "summary")
+
+    def __init__(self, name, graph):
+        self.name = name
+        self.graph = graph
+        self.index = None
+        self.core = None
+        self.names = None
+        self.summary = None
+
+
+class CExplorer:
+    """The C-Explorer system facade.
+
+    >>> from repro.datasets import generate_dblp_graph
+    >>> explorer = CExplorer()
+    >>> explorer.add_graph("dblp", generate_dblp_graph())
+    'dblp'
+    >>> communities = explorer.search("acq", "Jim Gray", k=4)
+    """
+
+    def __init__(self, profiles=None, cache_size=256):
+        self._graphs = {}
+        self._current = None
+        self.profiles = profiles if profiles is not None else ProfileStore()
+        self.cache = QueryCache(cache_size)
+
+    # ------------------------------------------------------------------
+    # graph management ("upload" in the paper API)
+    # ------------------------------------------------------------------
+    def upload(self, file_path, name=None):
+        """Load a graph file (edge list or JSON) and select it.
+
+        Returns the registered graph name.  The paper API's
+        ``upload(String filePath)``.
+        """
+        graph = load_graph(file_path)
+        validate_graph(graph)
+        if name is None:
+            name = str(file_path).rsplit("/", 1)[-1].rsplit(".", 1)[0]
+        return self.add_graph(name, graph)
+
+    def add_graph(self, name, graph, select=True):
+        """Register an in-memory graph under ``name``.
+
+        Re-registering a name replaces the graph and invalidates every
+        cached result for it.
+        """
+        self._graphs[name] = _GraphEntry(name, graph)
+        self.cache.invalidate(name)
+        if select or self._current is None:
+            self._current = name
+        return name
+
+    def select_graph(self, name):
+        """Switch the active graph (the UI's dataset picker)."""
+        if name not in self._graphs:
+            raise CExplorerError("no graph named {!r} uploaded".format(name))
+        self._current = name
+
+    def graph_names(self):
+        return sorted(self._graphs)
+
+    @property
+    def graph(self):
+        """The active graph."""
+        if self._current is None:
+            raise CExplorerError("no graph uploaded yet")
+        return self._graphs[self._current].graph
+
+    # ------------------------------------------------------------------
+    # indexing module
+    # ------------------------------------------------------------------
+    def index(self, rebuild=False):
+        """The CL-tree of the active graph, built on first use."""
+        entry = self._graphs[self._require_current()]
+        if entry.index is None or rebuild:
+            start = time.perf_counter()
+            entry.core = core_decomposition(entry.graph)
+            entry.index = build_cltree(entry.graph, core=entry.core)
+            entry.index.build_seconds = time.perf_counter() - start
+        return entry.index
+
+    def core_numbers(self):
+        """Core decomposition of the active graph (cached)."""
+        entry = self._graphs[self._require_current()]
+        if entry.core is None:
+            entry.core = core_decomposition(entry.graph)
+        return entry.core
+
+    def name_index(self):
+        """Prefix index over the active graph's names (lazy)."""
+        entry = self._graphs[self._require_current()]
+        if entry.names is None:
+            entry.names = NameIndex.from_graph(entry.graph)
+        return entry.names
+
+    def suggest_names(self, prefix, limit=10):
+        """Autocomplete for the query box."""
+        return self.name_index().suggest(prefix, limit=limit)
+
+    def summary(self):
+        """The dataset panel (whole-graph statistics), cached."""
+        entry = self._graphs[self._require_current()]
+        if entry.summary is None:
+            entry.summary = graph_summary(entry.graph)
+        return entry.summary
+
+    # ------------------------------------------------------------------
+    # the left panel: query construction helpers
+    # ------------------------------------------------------------------
+    def resolve_vertex(self, vertex):
+        """Accept a vertex id, exact label, or case-insensitive label.
+
+        The demo lets the user type "jim gray"; this does that lookup.
+        """
+        graph = self.graph
+        if isinstance(vertex, int):
+            if vertex not in graph:
+                raise QueryError("vertex id {} out of range".format(vertex))
+            return vertex
+        if graph.has_label(vertex):
+            return graph.id_of(vertex)
+        lowered = str(vertex).strip().lower()
+        for label, vid in graph.labels().items():
+            if label.lower() == lowered:
+                return vid
+        raise QueryError("no author named {!r}".format(vertex))
+
+    def query_options(self, vertex):
+        """What the left panel shows once a name is typed (Figure 1):
+        the degree constraints available and the author's keywords."""
+        graph = self.graph
+        v = self.resolve_vertex(vertex)
+        core = self.core_numbers()
+        return {
+            "vertex": v,
+            "name": graph.display_name(v),
+            "degree": graph.degree(v),
+            "max_k": core[v],
+            "degree_choices": list(range(1, core[v] + 1)),
+            "keywords": sorted(graph.keywords(v)),
+        }
+
+    # ------------------------------------------------------------------
+    # search / detect (the paper API)
+    # ------------------------------------------------------------------
+    def search(self, algorithm, vertex, k=4, keywords=None,
+               use_cache=True, **params):
+        """Run a CS algorithm: ``search(CSAlgorithm algo, Query query)``.
+
+        ``vertex`` may be an id, a label, or a list of either (the
+        multi-vertex "+" button).  ACQ variants automatically receive
+        the cached CL-tree index.  Results are cached per
+        (graph, algorithm, q, k, S) unless extra ``params`` are given
+        or ``use_cache=False``.
+        """
+        graph = self.graph
+        if isinstance(vertex, (list, tuple, set)):
+            q = [self.resolve_vertex(v) for v in vertex]
+            q = q[0] if len(q) == 1 else q
+        else:
+            q = self.resolve_vertex(vertex)
+        algo = get_cs_algorithm(algorithm)
+        cache_key = None
+        if use_cache and not params:
+            cache_key = self.cache.key(self._require_current(),
+                                       algo.name, q, k, keywords)
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                return cached
+        if algo.name.startswith("acq") and "index" not in params:
+            params["index"] = self.index()
+        result = algo(graph, q, k, keywords=keywords, **params)
+        if cache_key is not None:
+            self.cache.put(cache_key, result)
+        return result
+
+    def detect(self, algorithm, **params):
+        """Run a CD algorithm on the whole active graph."""
+        algo = get_cd_algorithm(algorithm)
+        return algo(self.graph, **params)
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def analyze(self, community, query_vertex=None):
+        """Quality metrics for one community (the `analyze` API call)."""
+        metrics = {
+            "vertices": community.vertex_count,
+            "edges": community.edge_count,
+            "average_degree": round(community.average_degree, 2),
+            "min_internal_degree": community.minimum_internal_degree(),
+            "density": round(community_density(community), 4),
+            "conductance": round(community_conductance(community), 4),
+            "cpj": round(cpj(community), 4),
+        }
+        qv = query_vertex
+        if qv is None and community.query_vertices:
+            qv = community.query_vertices[0]
+        if qv is not None:
+            metrics["cmf"] = round(cmf(community, query_vertex=qv), 4)
+        return metrics
+
+    def compare(self, vertex, k=4, methods=("global", "local", "codicil",
+                                            "acq"), keywords=None,
+                method_params=None):
+        """The Comparison Analysis screen (Figure 6) as a report object."""
+        q = self.resolve_vertex(vertex)
+        params = dict(method_params or {})
+        if any(m.startswith("acq") for m in methods):
+            for m in methods:
+                if m.startswith("acq"):
+                    params.setdefault(m, {}).setdefault("index", self.index())
+        return compare_methods(self.graph, q, k, methods=methods,
+                               keywords=keywords, method_params=params)
+
+    # ------------------------------------------------------------------
+    # display / profiles
+    # ------------------------------------------------------------------
+    def display(self, community, fmt="svg", layout="ego", **kwargs):
+        """Compute a layout and render (the `display` API call).
+
+        ``fmt``: ``"svg"``, ``"ascii"`` or ``"positions"`` (raw layout
+        dict, which is what the original API returns to the browser).
+        """
+        layouts = {"ego": ego_layout, "circular": circular_layout,
+                   "spring": spring_layout}
+        if layout not in layouts:
+            raise CExplorerError("unknown layout {!r}; choose from {}"
+                                 .format(layout, sorted(layouts)))
+        positions = layouts[layout](community)
+        if fmt == "positions":
+            return positions
+        if fmt == "svg":
+            return render_svg(community, layout=positions, **kwargs)
+        if fmt == "ascii":
+            return render_ascii(community, layout=positions, **kwargs)
+        raise CExplorerError("unknown display format {!r}".format(fmt))
+
+    def profile(self, vertex):
+        """The Figure 2 author-profile card for a vertex or name."""
+        v = self.resolve_vertex(vertex)
+        return self.profiles.get(self.graph.display_name(v))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def available_algorithms():
+        """Registered algorithm names: the UI's drop-downs."""
+        return {"cs": list_cs_algorithms(), "cd": list_cd_algorithms()}
+
+    def _require_current(self):
+        if self._current is None:
+            raise CExplorerError("no graph uploaded yet")
+        return self._current

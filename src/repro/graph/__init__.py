@@ -1,0 +1,38 @@
+"""Attributed-graph substrate.
+
+The paper's server owns its own graph database (Figure 3); this
+subpackage is our equivalent.  :class:`AttributedGraph` is the single
+in-memory representation every algorithm in the library runs on:
+undirected simple graphs whose vertices carry a label (e.g. an author
+name) and a set of keywords (Section 3.2 of the paper, ``W(v)``).
+"""
+
+from repro.graph.attributed import AttributedGraph
+from repro.graph.export import (
+    read_graphml,
+    write_community_csv,
+    write_graphml,
+)
+from repro.graph.io import (
+    load_graph,
+    read_edge_list,
+    read_graph_json,
+    write_edge_list,
+    write_graph_json,
+)
+from repro.graph.validation import validate_graph
+from repro.graph.views import SubgraphView
+
+__all__ = [
+    "AttributedGraph",
+    "SubgraphView",
+    "load_graph",
+    "read_edge_list",
+    "read_graph_json",
+    "read_graphml",
+    "validate_graph",
+    "write_community_csv",
+    "write_edge_list",
+    "write_graph_json",
+    "write_graphml",
+]

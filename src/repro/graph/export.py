@@ -1,0 +1,155 @@
+"""Exports: taking graphs and communities out of the system.
+
+The demo lets users save a community view; besides the SVG renderer
+(:mod:`repro.viz.render`) this module writes interchange files other
+tools read:
+
+* **GraphML** -- hand-rolled minimal XML (node labels, keyword lists
+  joined by ``|``, a ``community`` flag when exporting a community in
+  graph context), readable by Gephi/NetworkX/igraph;
+* **CSV** -- an edge list plus a vertex table, the format spreadsheets
+  and pandas users expect.
+
+:func:`read_graphml` closes the loop: GraphML files produced here (or
+by external tools following the same attribute conventions) load back
+into :class:`AttributedGraph`.
+"""
+
+import xml.etree.ElementTree as ET
+from xml.sax.saxutils import escape
+
+from repro.graph.attributed import AttributedGraph
+from repro.util.errors import GraphFormatError
+
+_NS = "{http://graphml.graphdrawing.org/xmlns}"
+
+
+def community_subgraph(community):
+    """Materialise the community as its own AttributedGraph."""
+    sub, _ = community.graph.induced_subgraph(community.vertices)
+    return sub
+
+
+def write_graphml(graph, path, community=None):
+    """Write ``graph`` as GraphML; returns ``path``.
+
+    When ``community`` (a vertex set or Community) is given, each node
+    carries a boolean ``community`` attribute marking membership --
+    handy for colouring the neighbourhood context in external tools.
+    """
+    members = None
+    if community is not None:
+        members = set(community.vertices
+                      if hasattr(community, "vertices") else community)
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        '<graphml xmlns="http://graphml.graphdrawing.org/xmlns">',
+        '<key id="d0" for="node" attr.name="label" attr.type="string"/>',
+        '<key id="d1" for="node" attr.name="keywords"'
+        ' attr.type="string"/>',
+    ]
+    if members is not None:
+        lines.append('<key id="d2" for="node" attr.name="community"'
+                     ' attr.type="boolean"/>')
+    lines.append('<graph id="G" edgedefault="undirected">')
+    for v in graph.vertices():
+        lines.append('<node id="n{}">'.format(v))
+        lines.append('  <data key="d0">{}</data>'.format(
+            escape(graph.display_name(v))))
+        lines.append('  <data key="d1">{}</data>'.format(
+            escape("|".join(sorted(graph.keywords(v))))))
+        if members is not None:
+            lines.append('  <data key="d2">{}</data>'.format(
+                "true" if v in members else "false"))
+        lines.append('</node>')
+    for i, (u, v) in enumerate(graph.edges()):
+        lines.append('<edge id="e{}" source="n{}" target="n{}"/>'.format(
+            i, u, v))
+    lines.append('</graph>')
+    lines.append('</graphml>')
+    with open(path, "w", encoding="utf-8") as f:
+        f.write("\n".join(lines) + "\n")
+    return path
+
+
+def read_graphml(path):
+    """Parse a GraphML file into an :class:`AttributedGraph`.
+
+    Node attributes named ``label`` and ``keywords`` (pipe-joined, as
+    :func:`write_graphml` emits) are honoured; other attributes are
+    ignored.  Directed graphs are rejected.
+    """
+    try:
+        tree = ET.parse(path)
+    except ET.ParseError as exc:
+        raise GraphFormatError("invalid GraphML: {}".format(exc)) from exc
+    root = tree.getroot()
+    graph_el = root.find(_NS + "graph")
+    if graph_el is None:
+        raise GraphFormatError("no <graph> element found")
+    if graph_el.get("edgedefault", "undirected") == "directed":
+        raise GraphFormatError("directed GraphML is not supported")
+    # Map key ids to attribute names.
+    key_names = {}
+    for key in root.findall(_NS + "key"):
+        key_names[key.get("id")] = key.get("attr.name")
+    graph = AttributedGraph()
+    id_map = {}
+    for node in graph_el.findall(_NS + "node"):
+        node_id = node.get("id")
+        label = None
+        keywords = ()
+        for data in node.findall(_NS + "data"):
+            name = key_names.get(data.get("key"))
+            if name == "label":
+                label = data.text or ""
+            elif name == "keywords" and data.text:
+                keywords = [w for w in data.text.split("|") if w]
+        if label is None:
+            label = node_id
+        if graph.has_label(label):
+            label = "{} ({})".format(label, node_id)
+        id_map[node_id] = graph.add_vertex(label, keywords)
+    for edge in graph_el.findall(_NS + "edge"):
+        source = id_map.get(edge.get("source"))
+        target = id_map.get(edge.get("target"))
+        if source is None or target is None:
+            raise GraphFormatError(
+                "edge references unknown node: {} -> {}".format(
+                    edge.get("source"), edge.get("target")))
+        if source != target and not graph.has_edge(source, target):
+            graph.add_edge(source, target)
+    return graph
+
+
+def write_community_csv(community, edge_path, vertex_path=None):
+    """Write a community as CSV files; returns ``(edge_path,
+    vertex_path)``.
+
+    The edge file has ``source,target`` rows using display names; the
+    optional vertex file has ``name,internal_degree,keywords`` rows.
+    Names containing commas or quotes are quoted per RFC 4180.
+    """
+    graph = community.graph
+
+    def cell(text):
+        text = str(text)
+        if any(ch in text for ch in ',"\n'):
+            return '"' + text.replace('"', '""') + '"'
+        return text
+
+    with open(edge_path, "w", encoding="utf-8") as f:
+        f.write("source,target\n")
+        for u, v in sorted(community.induced_edges()):
+            f.write("{},{}\n".format(cell(graph.display_name(u)),
+                                     cell(graph.display_name(v))))
+    if vertex_path is not None:
+        with open(vertex_path, "w", encoding="utf-8") as f:
+            f.write("name,internal_degree,keywords\n")
+            for v in sorted(community.vertices,
+                            key=graph.display_name):
+                f.write("{},{},{}\n".format(
+                    cell(graph.display_name(v)),
+                    community.internal_degree(v),
+                    cell("|".join(sorted(graph.keywords(v))))))
+    return edge_path, vertex_path

@@ -1,0 +1,67 @@
+"""Optional NetworkX interoperability.
+
+The library itself never depends on NetworkX (its graph substrate is
+:class:`AttributedGraph`), but downstream users live in the NetworkX
+ecosystem; these converters let them move graphs in and out.  Imports
+are deferred so the module works (and fails with a clear message) on
+installations without networkx.
+"""
+
+from repro.graph.attributed import AttributedGraph
+from repro.util.errors import GraphFormatError
+
+
+def _require_networkx():
+    try:
+        import networkx
+    except ImportError as exc:  # pragma: no cover - env without nx
+        raise ImportError(
+            "networkx is required for graph interop; install it or use "
+            "the native edge-list/JSON formats in repro.graph.io"
+        ) from exc
+    return networkx
+
+
+def to_networkx(graph):
+    """Convert an :class:`AttributedGraph` to ``networkx.Graph``.
+
+    Vertex ids become node ids; labels land in the ``label`` node
+    attribute and keyword sets in ``keywords`` (as sorted lists, so
+    the result serialises cleanly).
+    """
+    nx = _require_networkx()
+    out = nx.Graph()
+    for v in graph.vertices():
+        out.add_node(v, label=graph.label(v),
+                     keywords=sorted(graph.keywords(v)))
+    out.add_edges_from(graph.edges())
+    return out
+
+
+def from_networkx(nxgraph):
+    """Convert an undirected ``networkx.Graph`` to AttributedGraph.
+
+    Node ids may be arbitrary hashables; they are mapped to dense int
+    ids, with the original id kept as the label when no ``label``
+    attribute is present.  ``keywords`` node attributes (iterables of
+    strings) carry over.  Directed or multi-graphs are rejected.
+    """
+    nx = _require_networkx()
+    if nxgraph.is_directed():
+        raise GraphFormatError("directed graphs are not supported")
+    if nxgraph.is_multigraph():
+        raise GraphFormatError("multigraphs are not supported")
+    graph = AttributedGraph()
+    id_map = {}
+    for node in nxgraph.nodes():
+        data = nxgraph.nodes[node]
+        label = data.get("label")
+        if label is None:
+            label = str(node)
+        keywords = data.get("keywords", ())
+        id_map[node] = graph.add_vertex(label, keywords)
+    for u, v in nxgraph.edges():
+        if u == v:
+            continue  # drop self-loops rather than erroring
+        graph.add_edge(id_map[u], id_map[v])
+    return graph

@@ -1,0 +1,49 @@
+"""Structural sanity checks for uploaded graphs.
+
+The server validates every uploaded graph before indexing it; the
+checks here catch representation bugs (asymmetric adjacency, stale
+edge counters) as well as user-data problems worth reporting (isolated
+vertices, empty keyword sets).
+"""
+
+from repro.util.errors import GraphFormatError
+
+
+def validate_graph(graph, require_keywords=False):
+    """Validate internal consistency of ``graph``.
+
+    Raises :class:`GraphFormatError` on hard violations.  Returns a
+    report dict with soft statistics the UI can surface::
+
+        {"isolated_vertices": int, "vertices_without_keywords": int}
+    """
+    m = 0
+    isolated = 0
+    missing_kw = 0
+    for v in graph.vertices():
+        nbrs = graph.neighbors(v)
+        if v in nbrs:
+            raise GraphFormatError("self-loop on vertex {}".format(v))
+        for u in nbrs:
+            if u not in graph:
+                raise GraphFormatError(
+                    "vertex {} links to unknown vertex {}".format(v, u))
+            if v not in graph.neighbors(u):
+                raise GraphFormatError(
+                    "asymmetric adjacency between {} and {}".format(v, u))
+        m += len(nbrs)
+        if not nbrs:
+            isolated += 1
+        if not graph.keywords(v):
+            missing_kw += 1
+    if m != 2 * graph.edge_count:
+        raise GraphFormatError(
+            "edge counter {} inconsistent with adjacency ({} half-edges)"
+            .format(graph.edge_count, m))
+    if require_keywords and missing_kw:
+        raise GraphFormatError(
+            "{} vertices have empty keyword sets".format(missing_kw))
+    return {
+        "isolated_vertices": isolated,
+        "vertices_without_keywords": missing_kw,
+    }

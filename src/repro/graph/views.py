@@ -1,0 +1,99 @@
+"""Read-only induced-subgraph views.
+
+Community-search algorithms constantly ask "what is v's degree *within
+this candidate set*?".  Materialising an induced subgraph per candidate
+(as :meth:`AttributedGraph.induced_subgraph` does) is O(candidate
+edges) each time; a :class:`SubgraphView` instead filters the parent's
+adjacency lazily and keeps the parent's vertex ids, which is what the
+peeling loops in ``Global`` and the ACQ verification step want.
+"""
+
+
+class SubgraphView:
+    """Induced subgraph of an :class:`AttributedGraph` on a vertex set.
+
+    The view holds a *copy* of the member set, so the caller may keep
+    mutating its own set; use :meth:`discard` to shrink the view in
+    place (peeling).
+    """
+
+    def __init__(self, graph, vertices):
+        self._graph = graph
+        self._members = set(vertices)
+
+    @property
+    def graph(self):
+        return self._graph
+
+    @property
+    def vertex_count(self):
+        return len(self._members)
+
+    @property
+    def edge_count(self):
+        # Each edge counted from both sides.
+        return sum(self.degree(v) for v in self._members) // 2
+
+    def __len__(self):
+        return len(self._members)
+
+    def __contains__(self, v):
+        return v in self._members
+
+    def vertices(self):
+        return iter(self._members)
+
+    def vertex_set(self):
+        """Return a copy of the current member set."""
+        return set(self._members)
+
+    def neighbors(self, v):
+        """Iterate neighbours of ``v`` that are inside the view."""
+        if v not in self._members:
+            raise KeyError(v)
+        members = self._members
+        return (u for u in self._graph.neighbors(v) if u in members)
+
+    def degree(self, v):
+        """Degree of ``v`` counting only edges inside the view."""
+        if v not in self._members:
+            raise KeyError(v)
+        members = self._members
+        return sum(1 for u in self._graph.neighbors(v) if u in members)
+
+    def discard(self, v):
+        """Remove ``v`` from the view (peeling step); no-op if absent."""
+        self._members.discard(v)
+
+    def edges(self):
+        """Yield each edge inside the view once, as ``(u, v)``, u < v."""
+        members = self._members
+        for u in members:
+            for v in self._graph.neighbors(u):
+                if u < v and v in members:
+                    yield (u, v)
+
+    def connected_component(self, v):
+        """Vertices reachable from ``v`` without leaving the view."""
+        if v not in self._members:
+            raise KeyError(v)
+        seen = {v}
+        frontier = [v]
+        while frontier:
+            nxt = []
+            for u in frontier:
+                for w in self.neighbors(u):
+                    if w not in seen:
+                        seen.add(w)
+                        nxt.append(w)
+            frontier = nxt
+        return seen
+
+    def connected_components(self):
+        """Yield connected components of the view as vertex sets."""
+        seen = set()
+        for v in list(self._members):
+            if v not in seen:
+                comp = self.connected_component(v)
+                seen |= comp
+                yield comp

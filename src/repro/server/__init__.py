@@ -1,0 +1,13 @@
+"""The browser-server substrate (Figure 3).
+
+The original C-Explorer runs as JSP pages on Tomcat; here the Server
+side is a pure-stdlib threaded HTTP server exposing the same
+operations as a JSON API (:mod:`repro.server.app`), and the Browser
+side is a single self-contained HTML page (:mod:`repro.server.html`)
+that calls it.  No third-party web framework is involved, so the demo
+runs anywhere Python does.
+"""
+
+from repro.server.app import CExplorerServer, make_server
+
+__all__ = ["CExplorerServer", "make_server"]

@@ -1,0 +1,293 @@
+"""The server side: JSON-over-HTTP endpoints around a CExplorer.
+
+Endpoints (all JSON; POST bodies are JSON documents):
+
+========================  ====================================================
+``GET  /``                the HTML client page
+``GET  /api/algorithms``  registered CS/CD algorithm names
+``GET  /api/graphs``      uploaded graph names + sizes
+``POST /api/upload``      ``{"path": ..., "name": ...}`` -> load a graph file
+``POST /api/options``     ``{"vertex": ...}`` -> degree choices + keywords
+``POST /api/search``      ``{"vertex", "k", "algorithm", "keywords"}``
+``POST /api/detect``      ``{"algorithm", "params"}``
+``POST /api/display``     search params + ``"community"`` index -> SVG+layout
+``POST /api/profile``     ``{"vertex": ...}`` -> Figure 2 profile card
+``POST /api/compare``     ``{"vertex", "k", "methods"}`` -> Figure 6 report
+``POST /api/suggest``     ``{"prefix", "limit"}`` -> name autocompletion
+``GET  /api/stats``       whole-graph statistics (the dataset panel)
+``POST /api/history``     ``{"session": id}`` -> that session's query trail
+``GET  /api/metrics``     operational metrics (requests, cache, uptime)
+========================  ====================================================
+
+``/api/search`` accepts an optional ``"session"`` id; queries are
+recorded into that exploration session and the response echoes the id
+(a fresh one is minted when absent), so the browser can show a history
+panel.
+
+Errors are reported as ``{"error": message}`` with status 400, the way
+the original UI surfaces bad queries.  The server is threaded; the
+underlying graph structures are only read after upload, so concurrent
+queries are safe.
+"""
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.explorer.cexplorer import CExplorer
+from repro.explorer.sessions import SessionStore
+from repro.server.html import INDEX_HTML
+from repro.util.errors import CExplorerError
+from repro.viz.render import render_svg
+
+
+class CExplorerServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that owns a CExplorer instance."""
+
+    daemon_threads = True
+
+    def __init__(self, address, explorer):
+        self.explorer = explorer
+        self.sessions = SessionStore()
+        self.started_at = time.time()
+        self.request_counts = {}
+        self.error_count = 0
+        self.metrics_lock = threading.Lock()
+        # The upload endpoint mutates the explorer; serialise writers.
+        self.write_lock = threading.Lock()
+        super().__init__(address, _Handler)
+
+    def count_request(self, path, is_error=False):
+        with self.metrics_lock:
+            self.request_counts[path] = self.request_counts.get(path,
+                                                                0) + 1
+            if is_error:
+                self.error_count += 1
+
+    def metrics(self):
+        with self.metrics_lock:
+            return {
+                "uptime_seconds": round(time.time() - self.started_at, 3),
+                "requests": dict(self.request_counts),
+                "errors": self.error_count,
+                "sessions": len(self.sessions),
+                "cache": self.explorer.cache.stats(),
+            }
+
+
+def make_server(explorer=None, host="127.0.0.1", port=8080):
+    """Create (not start) a :class:`CExplorerServer`.
+
+    ``port=0`` picks a free port; read it back from
+    ``server.server_address``.
+    """
+    if explorer is None:
+        explorer = CExplorer()
+    return CExplorerServer((host, port), explorer)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to CExplorer calls; JSON in, JSON out."""
+
+    # Silence per-request logging; the demo prints its own status line.
+    def log_message(self, fmt, *args):
+        pass
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _send(self, status, payload, content_type="application/json"):
+        body = (payload if isinstance(payload, bytes)
+                else json.dumps(payload).encode("utf-8"))
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _json_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            raise CExplorerError("request body is not valid JSON")
+        if not isinstance(doc, dict):
+            raise CExplorerError("request body must be a JSON object")
+        return doc
+
+    def _dispatch(self, method):
+        explorer = self.server.explorer
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        self.server.count_request(path)
+        try:
+            if method == "GET" and path == "/api/metrics":
+                self._send(200, self.server.metrics())
+                return
+            if method == "GET" and path == "/":
+                self._send(200, INDEX_HTML.encode("utf-8"),
+                           content_type="text/html; charset=utf-8")
+                return
+            if method == "GET" and path == "/api/algorithms":
+                self._send(200, explorer.available_algorithms())
+                return
+            if method == "GET" and path == "/api/stats":
+                self._send(200, explorer.summary())
+                return
+            if method == "GET" and path == "/api/graphs":
+                self._send(200, {
+                    "graphs": [
+                        {"name": name,
+                         "vertices": explorer._graphs[name]
+                         .graph.vertex_count,
+                         "edges": explorer._graphs[name].graph.edge_count}
+                        for name in explorer.graph_names()
+                    ]})
+                return
+            if method == "POST":
+                handler = {
+                    "/api/upload": self._api_upload,
+                    "/api/options": self._api_options,
+                    "/api/search": self._api_search,
+                    "/api/detect": self._api_detect,
+                    "/api/display": self._api_display,
+                    "/api/profile": self._api_profile,
+                    "/api/compare": self._api_compare,
+                    "/api/suggest": self._api_suggest,
+                    "/api/history": self._api_history,
+                }.get(path)
+                if handler is not None:
+                    handler(explorer, self._json_body())
+                    return
+            self._send(404, {"error": "no such endpoint: " + path})
+        except CExplorerError as exc:
+            self.server.count_request(path, is_error=True)
+            self._send(400, {"error": str(exc)})
+        except Exception as exc:  # defensive: never kill the connection
+            self.server.count_request(path, is_error=True)
+            self._send(500, {"error": "internal error: {}".format(exc)})
+
+    def do_GET(self):
+        self._dispatch("GET")
+
+    def do_POST(self):
+        self._dispatch("POST")
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def _api_upload(self, explorer, body):
+        path = body.get("path")
+        if not path:
+            raise CExplorerError("upload needs a 'path'")
+        with self.server.write_lock:
+            name = explorer.upload(path, name=body.get("name"))
+        graph = explorer.graph
+        self._send(200, {"name": name, "vertices": graph.vertex_count,
+                         "edges": graph.edge_count})
+
+    def _api_options(self, explorer, body):
+        options = explorer.query_options(_need(body, "vertex"))
+        self._send(200, options)
+
+    def _run_search(self, explorer, body):
+        vertex = _need(body, "vertex")
+        k = int(body.get("k", 4))
+        algorithm = body.get("algorithm", "acq")
+        keywords = body.get("keywords")
+        communities = explorer.search(algorithm, vertex, k=k,
+                                      keywords=keywords)
+        return communities, {"vertex": vertex, "k": k,
+                             "algorithm": algorithm, "keywords": keywords}
+
+    def _api_search(self, explorer, body):
+        communities, query = self._run_search(explorer, body)
+        session_id = body.get("session")
+        if session_id:
+            session = self.server.sessions.get(str(session_id))
+        else:
+            session = self.server.sessions.create()
+        session.record(query["algorithm"], str(query["vertex"]),
+                       query["k"], len(communities),
+                       keywords=query["keywords"])
+        self._send(200, {
+            "session": session.session_id,
+            "query": query,
+            "communities": [c.to_dict() for c in communities],
+        })
+
+    def _api_suggest(self, explorer, body):
+        prefix = str(body.get("prefix", ""))
+        limit = int(body.get("limit", 10))
+        self._send(200, {
+            "prefix": prefix,
+            "names": explorer.suggest_names(prefix, limit=limit),
+        })
+
+    def _api_history(self, explorer, body):
+        session_id = str(_need(body, "session"))
+        session = self.server.sessions.get(session_id,
+                                           create_missing=False)
+        if session is None:
+            raise CExplorerError("unknown session {!r}".format(session_id))
+        self._send(200, {
+            "session": session_id,
+            "history": session.history(limit=body.get("limit")),
+        })
+
+    def _api_detect(self, explorer, body):
+        algorithm = body.get("algorithm", "codicil")
+        params = body.get("params") or {}
+        communities = explorer.detect(algorithm, **params)
+        self._send(200, {
+            "algorithm": algorithm,
+            "count": len(communities),
+            "communities": [c.to_dict() for c in communities[:50]],
+        })
+
+    def _api_display(self, explorer, body):
+        communities, query = self._run_search(explorer, body)
+        idx = int(body.get("community", 0))
+        if not 0 <= idx < len(communities):
+            raise CExplorerError("community index {} out of range "
+                                 "(have {})".format(idx, len(communities)))
+        community = communities[idx]
+        layout = explorer.display(community, fmt="positions",
+                                  layout=body.get("layout", "ego"))
+        svg = render_svg(community, layout=layout)
+        from repro.analysis.themes import theme_of
+        self._send(200, {
+            "query": query,
+            "community": community.to_dict(),
+            "theme": theme_of(community),
+            "positions": {str(v): [round(x, 4), round(y, 4)]
+                          for v, (x, y) in layout.items()},
+            "svg": svg,
+        })
+
+    def _api_profile(self, explorer, body):
+        profile = explorer.profile(_need(body, "vertex"))
+        self._send(200, profile.to_dict())
+
+    def _api_compare(self, explorer, body):
+        vertex = _need(body, "vertex")
+        k = int(body.get("k", 4))
+        methods = body.get("methods") or ("global", "local", "codicil",
+                                          "acq")
+        report = explorer.compare(vertex, k=k, methods=tuple(methods),
+                                  keywords=body.get("keywords"))
+        doc = report.to_dict()
+        if body.get("charts", True):
+            from repro.viz.charts import render_quality_charts
+            doc["charts"] = render_quality_charts(report)
+        self._send(200, doc)
+
+
+def _need(body, key):
+    value = body.get(key)
+    if value is None:
+        raise CExplorerError("missing required field {!r}".format(key))
+    return value

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the C-Explorer reproduction.
+
+Every error raised deliberately by the library derives from
+:class:`CExplorerError`, so callers embedding the system (e.g. the HTTP
+server in :mod:`repro.server`) can catch one type and translate it into
+a user-facing message, exactly as the original system reports query
+problems back to the browser.
+"""
+
+
+class CExplorerError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(CExplorerError):
+    """An uploaded/parsed graph file is malformed."""
+
+
+class UnknownVertexError(CExplorerError, KeyError):
+    """A query referenced a vertex name or id not present in the graph."""
+
+    def __init__(self, vertex):
+        super().__init__(vertex)
+        self.vertex = vertex
+
+    def __str__(self):
+        return "unknown vertex: {!r}".format(self.vertex)
+
+
+class QueryError(CExplorerError, ValueError):
+    """A query had invalid parameters (bad k, empty keyword set, ...)."""
+
+
+class UnknownAlgorithmError(CExplorerError, KeyError):
+    """An algorithm name was not found in the plug-in registry."""
+
+    def __init__(self, name, known=()):
+        super().__init__(name)
+        self.name = name
+        self.known = tuple(known)
+
+    def __str__(self):
+        msg = "unknown algorithm: {!r}".format(self.name)
+        if self.known:
+            msg += " (registered: {})".format(", ".join(sorted(self.known)))
+        return msg

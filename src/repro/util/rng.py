@@ -1,0 +1,23 @@
+"""Deterministic randomness helpers.
+
+Every randomised component in the library (dataset generators, CODICIL
+sampling, layout initialisation, label propagation tie-breaking) takes
+a ``seed`` argument and converts it into a :class:`random.Random`
+through :func:`make_rng`, so runs are reproducible bit-for-bit and
+tests can pin behaviour.
+"""
+
+import random
+
+
+def make_rng(seed):
+    """Return a :class:`random.Random` for ``seed``.
+
+    ``seed`` may be ``None`` (fresh nondeterministic generator), an
+    ``int``/``str`` (seeded generator), or an existing
+    :class:`random.Random` (returned unchanged so callers can thread
+    one generator through nested components).
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)

@@ -1,0 +1,23 @@
+"""Visualisation: the ``display`` API (Figure 4) without JUNG.
+
+The original system delegates vertex placement to the JUNG project and
+renders in the browser; here :mod:`repro.viz.layout` implements the
+layout algorithms (Fruchterman-Reingold force-directed, circular, and
+the ego layout used for community views with a highlighted query
+vertex) and :mod:`repro.viz.render` emits SVG (the "save as image"
+feature) and ASCII (terminal demos).
+"""
+
+from repro.viz.charts import render_bar_chart, render_quality_charts
+from repro.viz.layout import circular_layout, ego_layout, spring_layout
+from repro.viz.render import render_ascii, render_svg
+
+__all__ = [
+    "circular_layout",
+    "ego_layout",
+    "render_ascii",
+    "render_bar_chart",
+    "render_quality_charts",
+    "render_svg",
+    "spring_layout",
+]

@@ -1,0 +1,89 @@
+"""SVG bar charts: the Figure 6(a) quality graphs.
+
+"the CPJ and CMF values of communities retrieved by different methods
+are depicted in bar graphs on the right panel" -- this module renders
+those bar graphs.  Pure-string SVG like :mod:`repro.viz.render`, no
+plotting dependency.
+"""
+
+import html
+
+_BAR_COLORS = ["#4a90d9", "#6fbf73", "#e0a84f", "#d9534f", "#9b7fd4",
+               "#5bc8c4"]
+
+
+def render_bar_chart(values, title="", width=420, height=220,
+                     value_format="{:.3f}", max_value=None):
+    """Render ``{label: value}`` as a vertical-bar SVG string.
+
+    Bars keep insertion order; each gets a colour from a fixed palette
+    (cycled), its value printed above and its label below, matching
+    the comparison screen's look.  ``max_value`` pins the y-scale so
+    two charts (CPJ and CMF) can share an axis.
+    """
+    labels = list(values)
+    if not labels:
+        raise ValueError("bar chart needs at least one value")
+    top = max_value if max_value is not None else \
+        max(values.values()) or 1.0
+    pad_left, pad_top, pad_bottom = 30, 34, 30
+    plot_h = height - pad_top - pad_bottom
+    slot = (width - 2 * pad_left) / len(labels)
+    bar_w = slot * 0.6
+
+    parts = [
+        '<svg xmlns="http://www.w3.org/2000/svg" width="{w}" '
+        'height="{h}" viewBox="0 0 {w} {h}">'.format(w=width, h=height),
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            '<text x="{}" y="18" font-size="14" text-anchor="middle" '
+            'font-family="sans-serif" fill="#333">{}</text>'.format(
+                width // 2, html.escape(title)))
+    # Baseline.
+    parts.append(
+        '<line x1="{}" y1="{}" x2="{}" y2="{}" stroke="#999"/>'.format(
+            pad_left, height - pad_bottom, width - pad_left,
+            height - pad_bottom))
+    for i, label in enumerate(labels):
+        value = values[label]
+        frac = 0.0 if top <= 0 else max(0.0, min(1.0, value / top))
+        bar_h = frac * plot_h
+        x = pad_left + i * slot + (slot - bar_w) / 2
+        y = height - pad_bottom - bar_h
+        color = _BAR_COLORS[i % len(_BAR_COLORS)]
+        parts.append(
+            '<rect x="{:.1f}" y="{:.1f}" width="{:.1f}" height="{:.1f}"'
+            ' fill="{}"/>'.format(x, y, bar_w, bar_h, color))
+        parts.append(
+            '<text x="{:.1f}" y="{:.1f}" font-size="11" '
+            'text-anchor="middle" font-family="sans-serif" '
+            'fill="#222">{}</text>'.format(
+                x + bar_w / 2, y - 4, value_format.format(value)))
+        parts.append(
+            '<text x="{:.1f}" y="{}" font-size="11" '
+            'text-anchor="middle" font-family="sans-serif" '
+            'fill="#444">{}</text>'.format(
+                x + bar_w / 2, height - pad_bottom + 16,
+                html.escape(str(label))))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def render_quality_charts(report, width=420, height=220):
+    """The Figure 6(a) pair: CPJ and CMF charts for a comparison report.
+
+    Takes a :class:`~repro.analysis.comparison.ComparisonReport`;
+    returns ``{"cpj": svg, "cmf": svg}`` with a shared y-scale.
+    """
+    bars = report.quality_bars()
+    out = {}
+    for metric in ("cpj", "cmf"):
+        values = {method: scores[metric]
+                  for method, scores in bars.items()}
+        top = max(values.values()) if values else 1.0
+        out[metric] = render_bar_chart(
+            values, title=metric.upper(), width=width, height=height,
+            max_value=top if top > 0 else 1.0)
+    return out

@@ -1,0 +1,139 @@
+"""Vertex layout algorithms (the JUNG replacement).
+
+All layouts operate on a :class:`Community` (or any object with
+``vertices``, ``graph`` and ``induced_edges()``) and return
+``{vertex_id: (x, y)}`` with coordinates in the unit square, ready for
+the SVG renderer to scale.
+"""
+
+import math
+
+from repro.util.rng import make_rng
+
+
+def circular_layout(community, sort_by_name=True):
+    """Members evenly spaced on a circle.
+
+    Deterministic; with ``sort_by_name`` the order follows display
+    names so two renders of the same community are identical.
+    """
+    members = list(community.vertices)
+    if sort_by_name:
+        members.sort(key=community.graph.display_name)
+    else:
+        members.sort()
+    n = len(members)
+    pos = {}
+    for i, v in enumerate(members):
+        angle = 2.0 * math.pi * i / max(n, 1)
+        pos[v] = (0.5 + 0.42 * math.cos(angle),
+                  0.5 + 0.42 * math.sin(angle))
+    return pos
+
+
+def spring_layout(community, iterations=60, seed=0, initial=None):
+    """Fruchterman-Reingold force-directed layout.
+
+    Repulsive force k^2/d between all pairs, attractive force d^2/k
+    along edges, with linear cooling -- the classic formulation, which
+    is also what JUNG's ``FRLayout`` implements.  Positions are clipped
+    to the unit square.
+    """
+    members = sorted(community.vertices)
+    n = len(members)
+    if n == 0:
+        return {}
+    if n == 1:
+        return {members[0]: (0.5, 0.5)}
+    rng = make_rng(seed)
+    pos = dict(initial) if initial else {}
+    for v in members:
+        if v not in pos:
+            pos[v] = (rng.random(), rng.random())
+    edges = list(community.induced_edges())
+    area_k = math.sqrt(1.0 / n)
+    temperature = 0.1
+
+    for step in range(iterations):
+        disp = {v: [0.0, 0.0] for v in members}
+        # Repulsion between all pairs.
+        for i, v in enumerate(members):
+            xv, yv = pos[v]
+            for u in members[i + 1:]:
+                xu, yu = pos[u]
+                dx, dy = xv - xu, yv - yu
+                dist = math.hypot(dx, dy) or 1e-9
+                force = area_k * area_k / dist
+                fx, fy = dx / dist * force, dy / dist * force
+                disp[v][0] += fx
+                disp[v][1] += fy
+                disp[u][0] -= fx
+                disp[u][1] -= fy
+        # Attraction along edges.
+        for u, v in edges:
+            xu, yu = pos[u]
+            xv, yv = pos[v]
+            dx, dy = xu - xv, yu - yv
+            dist = math.hypot(dx, dy) or 1e-9
+            force = dist * dist / area_k
+            fx, fy = dx / dist * force, dy / dist * force
+            disp[u][0] -= fx
+            disp[u][1] -= fy
+            disp[v][0] += fx
+            disp[v][1] += fy
+        # Apply displacements, limited by the cooling temperature.
+        for v in members:
+            dx, dy = disp[v]
+            dist = math.hypot(dx, dy) or 1e-9
+            step_len = min(dist, temperature)
+            x = pos[v][0] + dx / dist * step_len
+            y = pos[v][1] + dy / dist * step_len
+            pos[v] = (min(0.98, max(0.02, x)), min(0.98, max(0.02, y)))
+        temperature *= (1.0 - (step + 1) / iterations) * 0.9 + 0.05
+
+    return pos
+
+
+def ego_layout(community, center=None, ring_gap=0.16):
+    """Concentric rings around the query vertex (the Figure 1 view).
+
+    The query vertex sits at the centre; other members are placed on
+    rings by BFS distance from it, each ring sorted by display name.
+    Vertices unreachable inside the community (cannot happen for the
+    connected communities our algorithms emit, but tolerated) land on
+    the outermost ring.
+    """
+    graph = community.graph
+    if center is None:
+        if community.query_vertices:
+            center = community.query_vertices[0]
+        else:
+            center = min(community.vertices)
+    members = community.vertices
+    # BFS distances within the community.
+    dist = {center: 0}
+    frontier = [center]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for w in graph.neighbors(u):
+                if w in members and w not in dist:
+                    dist[w] = dist[u] + 1
+                    nxt.append(w)
+        frontier = nxt
+    max_ring = max(dist.values()) if len(dist) > 1 else 1
+    fallback_ring = max_ring + 1
+    rings = {}
+    for v in members:
+        rings.setdefault(dist.get(v, fallback_ring), []).append(v)
+    pos = {center: (0.5, 0.5)}
+    for ring, vs in rings.items():
+        if ring == 0:
+            continue
+        vs.sort(key=graph.display_name)
+        radius = min(0.46, ring_gap * ring)
+        for i, v in enumerate(vs):
+            angle = 2.0 * math.pi * i / len(vs) + 0.3 * ring
+            pos[v] = (0.5 + radius * math.cos(angle),
+                      0.5 + radius * math.sin(angle))
+    return pos

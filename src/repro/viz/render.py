@@ -1,0 +1,121 @@
+"""Community renderers: SVG for the browser, ASCII for the terminal.
+
+The demo lets users "save the community into a .jpg file or print it
+directly"; SVG is our vector equivalent (and what the HTML client
+embeds), while the ASCII renderer powers the example scripts' output.
+"""
+
+import html
+
+from repro.viz.layout import ego_layout
+
+_QUERY_COLOR = "#d9534f"
+_VERTEX_COLOR = "#4a90d9"
+_EDGE_COLOR = "#b8c4cc"
+
+
+def render_svg(community, layout=None, width=640, height=480,
+               label_limit=60, title=None):
+    """Render a community as an SVG document string.
+
+    ``layout`` maps vertex -> (x, y) in the unit square (default: the
+    ego layout centred on the query vertex, like Figure 1).  Labels
+    are drawn for up to ``label_limit`` vertices; beyond that only the
+    query vertices keep labels, matching the browser's zoomed-out view.
+    """
+    graph = community.graph
+    if layout is None:
+        layout = ego_layout(community)
+    pad = 30
+
+    def sx(x):
+        return pad + x * (width - 2 * pad)
+
+    def sy(y):
+        return pad + y * (height - 2 * pad)
+
+    parts = [
+        '<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" '
+        'viewBox="0 0 {w} {h}">'.format(w=width, h=height),
+        '<rect width="100%" height="100%" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            '<text x="{}" y="18" font-size="14" font-family="sans-serif" '
+            'text-anchor="middle" fill="#333">{}</text>'.format(
+                width // 2, html.escape(title)))
+    for u, v in community.induced_edges():
+        (x1, y1), (x2, y2) = layout[u], layout[v]
+        parts.append(
+            '<line x1="{:.1f}" y1="{:.1f}" x2="{:.1f}" y2="{:.1f}" '
+            'stroke="{}" stroke-width="1"/>'.format(
+                sx(x1), sy(y1), sx(x2), sy(y2), _EDGE_COLOR))
+    draw_labels = len(community) <= label_limit
+    query = set(community.query_vertices)
+    for v in sorted(community.vertices):
+        x, y = layout[v]
+        is_query = v in query
+        parts.append(
+            '<circle cx="{:.1f}" cy="{:.1f}" r="{}" fill="{}" '
+            'stroke="#333" stroke-width="0.7"/>'.format(
+                sx(x), sy(y), 9 if is_query else 6,
+                _QUERY_COLOR if is_query else _VERTEX_COLOR))
+        if draw_labels or is_query:
+            parts.append(
+                '<text x="{:.1f}" y="{:.1f}" font-size="10" '
+                'font-family="sans-serif" text-anchor="middle" '
+                'fill="#222">{}</text>'.format(
+                    sx(x), sy(y) - 10,
+                    html.escape(graph.display_name(v))))
+    if community.shared_keywords:
+        theme = "Theme: " + ", ".join(community.theme(limit=8))
+        parts.append(
+            '<text x="{}" y="{}" font-size="12" font-family="sans-serif" '
+            'text-anchor="middle" fill="#555">{}</text>'.format(
+                width // 2, height - 8, html.escape(theme)))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(community, path, **kwargs):
+    """Write :func:`render_svg` output to ``path``; returns the path."""
+    doc = render_svg(community, **kwargs)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(doc)
+    return path
+
+
+def render_ascii(community, width=72, height=24, layout=None):
+    """Plot the community on a character grid (examples / debugging).
+
+    Query vertices render as ``@``, others as ``o``; a legend of
+    display names follows the grid.
+    """
+    graph = community.graph
+    if layout is None:
+        layout = ego_layout(community)
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    members = sorted(community.vertices, key=graph.display_name)
+    query = set(community.query_vertices)
+    for i, v in enumerate(members):
+        x, y = layout[v]
+        col = min(width - 1, max(0, int(x * (width - 1))))
+        row = min(height - 1, max(0, int(y * (height - 1))))
+        marker = "@" if v in query else "o"
+        grid[row][col] = marker
+        legend.append("{} {}{}".format(
+            marker, graph.display_name(v),
+            " (query)" if v in query else ""))
+    lines = ["".join(row).rstrip() for row in grid]
+    # Trim blank top/bottom rows for compactness.
+    while lines and not lines[0]:
+        lines.pop(0)
+    while lines and not lines[-1]:
+        lines.pop()
+    out = "\n".join(lines)
+    if community.shared_keywords:
+        out += "\n\nTheme: " + ", ".join(community.theme(limit=8))
+    if len(legend) <= 30:
+        out += "\n\n" + "\n".join(legend)
+    return out

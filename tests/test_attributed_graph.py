@@ -1,0 +1,246 @@
+"""Tests for the AttributedGraph substrate."""
+
+import pytest
+from hypothesis import given
+
+from repro.graph.attributed import AttributedGraph
+from repro.util.errors import GraphFormatError, UnknownVertexError
+
+from conftest import random_graphs
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = AttributedGraph()
+        assert g.vertex_count == 0
+        assert g.edge_count == 0
+        assert len(g) == 0
+        assert list(g.vertices()) == []
+        assert list(g.edges()) == []
+
+    def test_directed_rejected(self):
+        with pytest.raises(GraphFormatError):
+            AttributedGraph(directed=True)
+
+    def test_add_vertex_returns_dense_ids(self):
+        g = AttributedGraph()
+        assert g.add_vertex("a") == 0
+        assert g.add_vertex("b") == 1
+        assert g.add_vertex() == 2
+
+    def test_duplicate_label_rejected(self):
+        g = AttributedGraph()
+        g.add_vertex("a")
+        with pytest.raises(GraphFormatError):
+            g.add_vertex("a")
+
+    def test_ensure_vertex_get_or_create(self):
+        g = AttributedGraph()
+        v1 = g.ensure_vertex("a")
+        v2 = g.ensure_vertex("a")
+        assert v1 == v2
+        assert g.vertex_count == 1
+
+    def test_add_edge_and_counts(self):
+        g = AttributedGraph()
+        g.add_vertex("a")
+        g.add_vertex("b")
+        assert g.add_edge(0, 1) is True
+        assert g.edge_count == 1
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_parallel_edge_collapsed(self):
+        g = AttributedGraph()
+        g.add_vertex()
+        g.add_vertex()
+        g.add_edge(0, 1)
+        assert g.add_edge(1, 0) is False
+        assert g.edge_count == 1
+
+    def test_self_loop_rejected(self):
+        g = AttributedGraph()
+        g.add_vertex()
+        with pytest.raises(GraphFormatError):
+            g.add_edge(0, 0)
+
+    def test_edge_to_unknown_vertex(self):
+        g = AttributedGraph()
+        g.add_vertex()
+        with pytest.raises(UnknownVertexError):
+            g.add_edge(0, 5)
+
+    def test_remove_edge(self):
+        g = AttributedGraph()
+        g.add_vertex()
+        g.add_vertex()
+        g.add_edge(0, 1)
+        g.remove_edge(0, 1)
+        assert g.edge_count == 0
+        assert not g.has_edge(0, 1)
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 1)
+
+
+class TestAttributes:
+    def test_keywords_frozen(self):
+        g = AttributedGraph()
+        g.add_vertex("a", {"x", "y"})
+        assert g.keywords(0) == frozenset({"x", "y"})
+        g.set_keywords(0, ["z"])
+        assert g.keywords(0) == frozenset({"z"})
+
+    def test_labels_and_ids(self):
+        g = AttributedGraph()
+        g.add_vertex("alice")
+        assert g.label(0) == "alice"
+        assert g.id_of("alice") == 0
+        assert g.has_label("alice")
+        assert not g.has_label("bob")
+        with pytest.raises(UnknownVertexError):
+            g.id_of("bob")
+
+    def test_display_name_fallback(self):
+        g = AttributedGraph()
+        g.add_vertex()
+        g.add_vertex("named")
+        assert g.display_name(0) == "v0"
+        assert g.display_name(1) == "named"
+
+    def test_relabel(self):
+        g = AttributedGraph()
+        g.add_vertex("old")
+        g.relabel(0, "new")
+        assert g.id_of("new") == 0
+        assert not g.has_label("old")
+
+    def test_relabel_duplicate_rejected(self):
+        g = AttributedGraph()
+        g.add_vertex("a")
+        g.add_vertex("b")
+        with pytest.raises(GraphFormatError):
+            g.relabel(1, "a")
+
+    def test_relabel_same_vertex_same_label_ok(self):
+        g = AttributedGraph()
+        g.add_vertex("a")
+        g.relabel(0, "a")
+        assert g.id_of("a") == 0
+
+    def test_keyword_vocabulary(self):
+        g = AttributedGraph()
+        g.add_vertex("a", {"x"})
+        g.add_vertex("b", {"x", "y"})
+        assert g.keyword_vocabulary() == {"x", "y"}
+
+    def test_labels_view_is_copy(self):
+        g = AttributedGraph()
+        g.add_vertex("a")
+        labels = g.labels()
+        labels["b"] = 99
+        assert not g.has_label("b")
+
+
+class TestTraversal:
+    def _path(self, n):
+        g = AttributedGraph()
+        for i in range(n):
+            g.add_vertex()
+        for i in range(n - 1):
+            g.add_edge(i, i + 1)
+        return g
+
+    def test_neighbors_and_degree(self):
+        g = self._path(3)
+        assert g.degree(1) == 2
+        assert set(g.neighbors(1)) == {0, 2}
+
+    def test_edges_listed_once(self):
+        g = self._path(4)
+        assert sorted(g.edges()) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_connected_component(self):
+        g = self._path(3)
+        g.add_vertex()  # isolated vertex 3
+        assert g.connected_component(0) == {0, 1, 2}
+        assert g.connected_component(3) == {3}
+
+    def test_connected_components(self):
+        g = self._path(3)
+        g.add_vertex()
+        comps = sorted(sorted(c) for c in g.connected_components())
+        assert comps == [[0, 1, 2], [3]]
+
+    def test_contains(self):
+        g = self._path(2)
+        assert 0 in g and 1 in g
+        assert 2 not in g
+        assert "a" not in g
+
+
+class TestDerivedGraphs:
+    def test_copy_is_independent(self):
+        g = AttributedGraph()
+        g.add_vertex("a", {"x"})
+        g.add_vertex("b")
+        g.add_edge(0, 1)
+        h = g.copy()
+        h.remove_edge(0, 1)
+        h.add_vertex("c")
+        assert g.edge_count == 1
+        assert g.vertex_count == 2
+        assert h.keywords(0) == {"x"}
+        assert h.id_of("a") == 0
+
+    def test_induced_subgraph_remaps(self):
+        g = AttributedGraph()
+        for name in "abcd":
+            g.add_vertex(name, {name})
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        sub, mapping = g.induced_subgraph([1, 2, 3])
+        assert sub.vertex_count == 3
+        assert sub.edge_count == 2
+        assert mapping == {1: 0, 2: 1, 3: 2}
+        assert sub.label(0) == "b"
+        assert sub.keywords(2) == {"d"}
+
+    def test_induced_subgraph_empty_edges(self):
+        g = AttributedGraph()
+        g.add_vertex("a")
+        g.add_vertex("b")
+        g.add_edge(0, 1)
+        sub, _ = g.induced_subgraph([0])
+        assert sub.vertex_count == 1
+        assert sub.edge_count == 0
+
+    def test_repr(self):
+        g = AttributedGraph()
+        g.add_vertex()
+        assert "n=1" in repr(g)
+
+
+@given(random_graphs())
+def test_handshake_lemma(g):
+    """Property: sum of degrees equals twice the edge count."""
+    assert sum(g.degree(v) for v in g.vertices()) == 2 * g.edge_count
+
+
+@given(random_graphs())
+def test_edges_are_symmetric_and_unique(g):
+    """Property: every edge appears once with u < v and symmetrically."""
+    edges = list(g.edges())
+    assert len(edges) == len(set(edges)) == g.edge_count
+    for u, v in edges:
+        assert u < v
+        assert u in g.neighbors(v)
+        assert v in g.neighbors(u)
+
+
+@given(random_graphs())
+def test_components_partition_vertices(g):
+    """Property: connected components partition the vertex set."""
+    seen = []
+    for comp in g.connected_components():
+        seen.extend(comp)
+    assert sorted(seen) == list(g.vertices())

@@ -1,0 +1,133 @@
+"""Tests for the attributed truss community extension."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.attributed_truss import (
+    attributed_truss_search,
+    truss_reduce,
+)
+from repro.core.ktruss import k_truss
+from repro.util.errors import QueryError
+
+from conftest import build_graph, random_graphs
+
+
+def _two_keyword_cliques():
+    """K4 on {0..3} tagged 'db', K4 on {3..6} tagged 'ml', sharing 3."""
+    edges = [(i, j) for i in range(4) for j in range(i)]
+    edges += [(i, j) for i in range(3, 7) for j in range(3, i)]
+    kws = {v: {"db", "x"} for v in range(4)}
+    for v in range(4, 7):
+        kws[v] = {"ml", "x"}
+    kws[3] = {"db", "ml", "x"}
+    return build_graph(7, edges, kws)
+
+
+class TestTrussReduce:
+    def test_k4_survives_truss4(self):
+        g = build_graph(4, [(i, j) for i in range(4) for j in range(i)])
+        assert truss_reduce(g, g.vertices(), 4) == {0, 1, 2, 3}
+
+    def test_triangle_dies_at_truss4(self):
+        g = build_graph(3, [(0, 1), (1, 2), (0, 2)])
+        assert truss_reduce(g, g.vertices(), 4) == set()
+
+    def test_tail_removed(self):
+        g = build_graph(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        assert truss_reduce(g, g.vertices(), 3) == {0, 1, 2}
+
+    def test_k_below_two_rejected(self):
+        g = build_graph(2, [(0, 1)])
+        with pytest.raises(QueryError):
+            truss_reduce(g, g.vertices(), 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_graphs(max_n=14, max_m=45), st.integers(3, 5))
+    def test_matches_truss_decomposition_on_full_graph(self, g, k):
+        """Property: reducing the whole graph equals the vertices
+        touched by k-truss edges."""
+        expected = {x for e in k_truss(g, k) for x in e}
+        assert truss_reduce(g, g.vertices(), k) == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_graphs(max_n=12, max_m=36), st.integers(3, 4))
+    def test_monotone_in_candidates(self, g, k):
+        """Property: a larger candidate set never yields a smaller
+        truss reduction (the soundness basis of the pre-filter)."""
+        n = g.vertex_count
+        half = set(range(n // 2))
+        small = truss_reduce(g, half, k)
+        large = truss_reduce(g, g.vertices(), k)
+        assert small <= large
+
+
+class TestAttributedTrussSearch:
+    def test_keyword_selects_the_right_clique(self):
+        g = _two_keyword_cliques()
+        result = attributed_truss_search(g, 3, 3, keywords={"db", "ml"})
+        assert result
+        top = result[0]
+        # 3 carries both keywords; the maximal shared set is a single
+        # keyword (db or ml), each selecting one K4.
+        assert len(top.shared_keywords) == 1
+        assert top.vertices in ({0, 1, 2, 3}, {3, 4, 5, 6})
+        assert top.method == "ATC"
+
+    def test_both_single_keyword_communities_returned(self):
+        g = _two_keyword_cliques()
+        result = attributed_truss_search(g, 3, 3, keywords={"db", "ml"})
+        members = {frozenset(c.vertices) for c in result}
+        assert members == {frozenset({0, 1, 2, 3}),
+                           frozenset({3, 4, 5, 6})}
+
+    def test_shared_keyword_unites(self):
+        g = _two_keyword_cliques()
+        result = attributed_truss_search(g, 3, 3, keywords={"x"})
+        assert result
+        assert result[0].shared_keywords == {"x"}
+        # x is on everyone; the 3-truss containing q=3 covers both K4s
+        # (they share vertex 3 and both are 3-trusses).
+        assert result[0].vertices == set(range(7))
+
+    def test_truss_property_holds(self):
+        g = _two_keyword_cliques()
+        for community in attributed_truss_search(g, 0, 3):
+            members = community.vertices
+            support = {}
+            for u in members:
+                for v in g.neighbors(u):
+                    if u < v and v in members:
+                        common = sum(1 for w in g.neighbors(u)
+                                     if w in members
+                                     and w in g.neighbors(v))
+                        support[(u, v)] = common
+            assert all(s >= 1 for s in support.values())
+
+    def test_no_truss_returns_empty(self):
+        g = build_graph(3, [(0, 1), (1, 2)])  # no triangle at all
+        assert attributed_truss_search(g, 0, 3) == []
+
+    def test_k_below_two_rejected(self):
+        g = _two_keyword_cliques()
+        with pytest.raises(QueryError):
+            attributed_truss_search(g, 0, 1)
+
+    def test_fallback_when_no_keyword_qualifies(self):
+        g = build_graph(4, [(i, j) for i in range(4) for j in range(i)],
+                        {0: {"a"}, 1: {"b"}, 2: {"c"}, 3: {"d"}})
+        result = attributed_truss_search(g, 0, 3)
+        assert len(result) == 1
+        assert result[0].shared_keywords == frozenset()
+        assert result[0].vertices == {0, 1, 2, 3}
+
+    def test_stronger_than_degree_cohesiveness(self, dblp_small):
+        """ATC communities are at least as tight as ACQ's for the same
+        k: every ATC member has internal degree >= k - 1 by the truss
+        property."""
+        q = dblp_small.id_of("Jim Gray")
+        result = attributed_truss_search(dblp_small, q, 3)
+        if not result:
+            pytest.skip("no 3-truss at q for this seed")
+        community = result[0]
+        assert community.minimum_internal_degree() >= 2

@@ -1,0 +1,72 @@
+"""Tests for the author-name prefix index."""
+
+from hypothesis import given, strategies as st
+
+from repro.explorer.autocomplete import NameIndex
+
+
+class TestNameIndex:
+    def test_basic_suggest(self):
+        index = NameIndex(["Jim Gray", "Jennifer Widom", "Joe Smith"])
+        assert index.suggest("ji") == ["Jim Gray"]
+        assert index.suggest("j") == ["Jennifer Widom", "Jim Gray",
+                                      "Joe Smith"]
+
+    def test_case_insensitive(self):
+        index = NameIndex(["Jim Gray"])
+        assert index.suggest("JIM") == ["Jim Gray"]
+        assert index.suggest("jIm g") == ["Jim Gray"]
+        assert "jim gray" in index
+        assert "JIM GRAY" in index
+
+    def test_limit(self):
+        index = NameIndex("name{:02d}".format(i) for i in range(30))
+        assert len(index.suggest("name", limit=5)) == 5
+        assert index.suggest("name", limit=5) == \
+            ["name00", "name01", "name02", "name03", "name04"]
+
+    def test_no_match(self):
+        index = NameIndex(["Jim Gray"])
+        assert index.suggest("zz") == []
+        assert "Nobody" not in index
+
+    def test_empty_prefix_returns_first_names(self):
+        index = NameIndex(["b", "a", "c"])
+        assert index.suggest("", limit=2) == ["a", "b"]
+
+    def test_duplicates_ignored(self):
+        index = NameIndex(["Jim Gray", "Jim Gray"])
+        assert len(index) == 1
+
+    def test_prefix_name_ordering(self):
+        index = NameIndex(["Jim", "Jim Gray"])
+        assert index.suggest("jim") == ["Jim", "Jim Gray"]
+
+    def test_from_graph(self, fig5):
+        index = NameIndex.from_graph(fig5)
+        assert len(index) == 10
+        assert index.suggest("a") == ["A"]
+
+    def test_dblp_lookup(self, dblp_small):
+        index = NameIndex.from_graph(dblp_small)
+        assert "Jim Gray" in index.suggest("jim")
+
+    @given(st.lists(st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu")),
+        min_size=1, max_size=8), max_size=25), st.text(
+        alphabet=st.characters(whitelist_categories=("Ll",)),
+        max_size=3))
+    def test_suggest_matches_linear_scan(self, names, prefix):
+        """Property: trie suggestions equal a sorted linear filter.
+
+        Names differing only by case collapse to one entry (first
+        insertion wins), matching the index's case-insensitive key."""
+        index = NameIndex(names)
+        kept = {}
+        for name in names:
+            kept.setdefault(name.lower(), name)
+        expected = sorted(
+            (original for key, original in kept.items()
+             if key.startswith(prefix)),
+            key=str.lower)
+        assert index.suggest(prefix, limit=100) == expected[:100]

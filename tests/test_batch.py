@@ -1,0 +1,77 @@
+"""Tests for the batch evaluation harness."""
+
+import pytest
+
+from repro.analysis.batch import (
+    batch_evaluate,
+    format_batch_table,
+    pick_query_vertices,
+)
+from repro.core.kcore import core_decomposition
+
+
+class TestPickQueryVertices:
+    def test_respects_core_threshold(self, dblp_small):
+        core = core_decomposition(dblp_small)
+        queries = pick_query_vertices(dblp_small, 3, 10, seed=1)
+        assert len(queries) == 10
+        assert all(core[q] >= 3 for q in queries)
+
+    def test_deterministic(self, dblp_small):
+        a = pick_query_vertices(dblp_small, 3, 10, seed=1)
+        b = pick_query_vertices(dblp_small, 3, 10, seed=1)
+        assert a == b
+
+    def test_all_when_pool_small(self, fig5):
+        queries = pick_query_vertices(fig5, 3, 100)
+        assert sorted(fig5.label(q) for q in queries) == \
+            ["A", "B", "C", "D"]
+
+    def test_empty_when_infeasible(self, fig5):
+        assert pick_query_vertices(fig5, 9, 5) == []
+
+
+class TestBatchEvaluate:
+    def test_report_shape(self, dblp_small):
+        results = batch_evaluate(dblp_small, ("global", "acq"), k=3,
+                                 n_queries=6, seed=2)
+        assert set(results) == {"global", "acq"}
+        for row in results.values():
+            assert row["queries"] == 6
+            assert 0 <= row["answered"] <= 6
+            assert row["avg_seconds"] >= 0
+
+    def test_all_queries_answered_for_feasible_pool(self, dblp_small):
+        results = batch_evaluate(dblp_small, ("global",), k=3,
+                                 n_queries=6, seed=2)
+        assert results["global"]["answered"] == 6
+
+    def test_acq_beats_global_on_quality_in_aggregate(self, dblp_small):
+        """The ACQ paper's aggregate claim over a query pool."""
+        from repro.core.cltree import build_cltree
+        index = build_cltree(dblp_small)
+        results = batch_evaluate(
+            dblp_small, ("global", "acq"), k=3, n_queries=10, seed=3,
+            method_params={"acq": {"index": index}})
+        assert results["acq"]["avg_cpj"] > results["global"]["avg_cpj"]
+        assert results["acq"]["avg_cmf"] > results["global"]["avg_cmf"]
+
+    def test_explicit_queries_used(self, fig5):
+        a = fig5.id_of("A")
+        results = batch_evaluate(fig5, ("global",), k=2, queries=[a])
+        assert results["global"]["queries"] == 1
+        assert results["global"]["answered"] == 1
+
+    def test_failing_method_counts_zero(self, fig5):
+        results = batch_evaluate(fig5, ("k-truss",), k=1,
+                                 queries=[fig5.id_of("A")])
+        assert results["k-truss"]["answered"] == 0
+
+
+class TestFormatBatchTable:
+    def test_renders(self, dblp_small):
+        results = batch_evaluate(dblp_small, ("global",), k=3,
+                                 n_queries=4, seed=1)
+        table = format_batch_table(results)
+        assert "method" in table.splitlines()[0]
+        assert "global" in table

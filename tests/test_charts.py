@@ -1,0 +1,57 @@
+"""Tests for the SVG bar charts (Figure 6(a) quality graphs)."""
+
+import pytest
+
+from repro.viz.charts import render_bar_chart, render_quality_charts
+
+
+class TestRenderBarChart:
+    def test_basic_structure(self):
+        svg = render_bar_chart({"acq": 0.4, "global": 0.1},
+                               title="CPJ")
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<rect") == 3  # background + 2 bars
+        assert "CPJ" in svg
+        assert "acq" in svg and "global" in svg
+        assert "0.400" in svg and "0.100" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_bar_chart({})
+
+    def test_tallest_bar_uses_full_height(self):
+        svg = render_bar_chart({"a": 1.0, "b": 0.5}, height=220)
+        # Bar heights: plot height = 220 - 34 - 30 = 156.
+        assert 'height="156.0"' in svg
+        assert 'height="78.0"' in svg
+
+    def test_zero_values_render(self):
+        svg = render_bar_chart({"a": 0.0, "b": 0.0})
+        assert svg.count('height="0.0"') == 2
+
+    def test_shared_scale(self):
+        a = render_bar_chart({"x": 0.5}, max_value=1.0, height=220)
+        assert 'height="78.0"' in a  # half of 156
+
+    def test_label_escaping(self):
+        svg = render_bar_chart({"a<b": 1.0})
+        assert "a&lt;b" in svg
+
+    def test_custom_value_format(self):
+        svg = render_bar_chart({"a": 0.123456},
+                               value_format="{:.1f}")
+        assert ">0.1<" in svg
+
+
+class TestRenderQualityCharts:
+    def test_pair_from_report(self, dblp_small):
+        from repro.analysis.comparison import compare_methods
+        q = dblp_small.id_of("Jim Gray")
+        report = compare_methods(dblp_small, q, 3,
+                                 methods=("global", "acq"))
+        charts = render_quality_charts(report)
+        assert set(charts) == {"cpj", "cmf"}
+        for svg in charts.values():
+            assert svg.startswith("<svg")
+            assert "acq" in svg

@@ -1,0 +1,102 @@
+"""Tests for the comparison-analysis module (Figure 6)."""
+
+from repro.analysis.comparison import ComparisonReport, compare_methods
+
+
+class TestCompareMethods:
+    def test_runs_all_methods(self, dblp_small):
+        q = dblp_small.id_of("Jim Gray")
+        report = compare_methods(dblp_small, q, 3,
+                                 methods=("global", "local", "acq"))
+        assert set(report.results) == {"global", "local", "acq"}
+        assert set(report.timings) == {"global", "local", "acq"}
+        assert all(t >= 0 for t in report.timings.values())
+
+    def test_failing_method_recorded_empty(self, dblp_small):
+        """k-truss with k below 2 raises internally; the report must
+        swallow it (per-method error chips, not a crash)."""
+        q = dblp_small.id_of("Jim Gray")
+        report = compare_methods(dblp_small, q, 1, methods=("k-truss",))
+        assert report.results["k-truss"] == []
+
+    def test_table_rows_shape(self, dblp_small):
+        q = dblp_small.id_of("Jim Gray")
+        report = compare_methods(dblp_small, q, 3,
+                                 methods=("global", "acq"))
+        rows = report.table_rows()
+        assert [r["method"] for r in rows] == ["global", "acq"]
+        for row in rows:
+            for key in ("communities", "vertices", "edges", "degree",
+                        "cpj", "cmf"):
+                assert key in row
+
+    def test_fig6_shape_global_biggest(self, dblp_small):
+        """The Figure 6(a) size ordering: Global's community is the
+        largest; ACQ's is (much) smaller."""
+        q = dblp_small.id_of("Jim Gray")
+        report = compare_methods(dblp_small, q, 3,
+                                 methods=("global", "local", "acq"))
+        rows = {r["method"]: r for r in report.table_rows()}
+        assert rows["global"]["vertices"] >= rows["local"]["vertices"]
+        assert rows["global"]["vertices"] >= rows["acq"]["vertices"]
+
+    def test_quality_bars_acq_wins(self, dblp_small):
+        """The Figure 6(a) bar charts: ACQ tops CPJ and CMF."""
+        q = dblp_small.id_of("Jim Gray")
+        report = compare_methods(dblp_small, q, 3,
+                                 methods=("global", "local", "acq"))
+        bars = report.quality_bars()
+        assert bars["acq"]["cpj"] >= bars["global"]["cpj"]
+        assert bars["acq"]["cmf"] >= bars["global"]["cmf"]
+
+    def test_overlap_matrix_properties(self, dblp_small):
+        q = dblp_small.id_of("Jim Gray")
+        report = compare_methods(dblp_small, q, 3,
+                                 methods=("global", "local", "acq"))
+        matrix = report.overlap_matrix()
+        methods = [m for m, cs in report.results.items() if cs]
+        for a in methods:
+            assert matrix[(a, a)] == 1.0
+            for b in methods:
+                assert matrix[(a, b)] == matrix[(b, a)]
+                assert 0.0 <= matrix[(a, b)] <= 1.0
+
+    def test_render_text_contains_table(self, dblp_small):
+        q = dblp_small.id_of("Jim Gray")
+        report = compare_methods(dblp_small, q, 3, methods=("global",))
+        text = report.render_text()
+        assert "Method" in text
+        assert "CPJ" in text
+        assert "Query time" in text
+
+    def test_to_dict_is_json_ready(self, dblp_small):
+        import json
+        q = dblp_small.id_of("Jim Gray")
+        report = compare_methods(dblp_small, q, 3,
+                                 methods=("global", "acq"))
+        doc = report.to_dict()
+        json.dumps(doc)  # must not raise
+        assert doc["k"] == 3
+        assert "table" in doc and "quality" in doc
+
+    def test_keywords_forwarded_to_acq(self, fig5):
+        report = compare_methods(fig5, fig5.id_of("A"), 2,
+                                 methods=("acq",),
+                                 keywords={"w", "x", "y"})
+        community = report.results["acq"][0]
+        assert community.shared_keywords == {"x", "y"}
+
+    def test_method_params_forwarded(self, dblp_small):
+        q = dblp_small.id_of("Jim Gray")
+        report = compare_methods(
+            dblp_small, q, 3, methods=("local",),
+            method_params={"local": {"budget": 25}})
+        if report.results["local"]:
+            assert len(report.results["local"][0]) <= 25
+
+
+class TestComparisonReport:
+    def test_empty_results_quality_bars(self, fig5):
+        report = ComparisonReport(0, 2, {"x": []}, {"x": 0.0})
+        assert report.quality_bars() == {"x": {"cpj": 0.0, "cmf": 0.0}}
+        assert report.overlap_matrix() == {}

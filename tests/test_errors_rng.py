@@ -1,0 +1,64 @@
+"""Tests for the error hierarchy and RNG helper."""
+
+import random
+
+import pytest
+
+from repro.util.errors import (
+    CExplorerError,
+    GraphFormatError,
+    QueryError,
+    UnknownAlgorithmError,
+    UnknownVertexError,
+)
+from repro.util.rng import make_rng
+
+
+class TestErrors:
+    def test_all_derive_from_base(self):
+        for exc_type in (GraphFormatError, QueryError, UnknownVertexError,
+                         UnknownAlgorithmError):
+            assert issubclass(exc_type, CExplorerError)
+
+    def test_unknown_vertex_message_and_payload(self):
+        err = UnknownVertexError("jim gray")
+        assert "jim gray" in str(err)
+        assert err.vertex == "jim gray"
+
+    def test_unknown_vertex_is_keyerror(self):
+        with pytest.raises(KeyError):
+            raise UnknownVertexError(42)
+
+    def test_query_error_is_valueerror(self):
+        with pytest.raises(ValueError):
+            raise QueryError("bad k")
+
+    def test_unknown_algorithm_lists_known(self):
+        err = UnknownAlgorithmError("mystery", known=["acq", "global"])
+        text = str(err)
+        assert "mystery" in text
+        assert "acq" in text and "global" in text
+
+    def test_unknown_algorithm_without_known(self):
+        assert "registered" not in str(UnknownAlgorithmError("x"))
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a, b = make_rng(42), make_rng(42)
+        assert [a.random() for _ in range(5)] == [b.random()
+                                                 for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        assert make_rng(1).random() != make_rng(2).random()
+
+    def test_passthrough_of_random_instance(self):
+        rng = random.Random(0)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(make_rng(None), random.Random)
+
+    def test_string_seeds_supported(self):
+        a, b = make_rng("profile:x"), make_rng("profile:x")
+        assert a.random() == b.random()

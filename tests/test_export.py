@@ -1,0 +1,158 @@
+"""Tests for GraphML/CSV export."""
+
+import csv
+
+import networkx as nx
+
+from repro.core.community import Community
+from repro.graph.export import (
+    community_subgraph,
+    write_community_csv,
+    write_graphml,
+)
+
+from conftest import build_graph
+
+
+def _community():
+    g = build_graph(4, [(0, 1), (1, 2), (0, 2), (2, 3)],
+                    {v: {"kw{}".format(v)} for v in range(4)})
+    return Community(g, {0, 1, 2}, query_vertices=(0,))
+
+
+class TestGraphml:
+    def test_readable_by_networkx(self, fig5, tmp_path):
+        path = str(tmp_path / "g.graphml")
+        write_graphml(fig5, path)
+        nxg = nx.read_graphml(path)
+        assert nxg.number_of_nodes() == 10
+        assert nxg.number_of_edges() == 11
+        labels = {data["label"] for _, data in nxg.nodes(data=True)}
+        assert labels == set("ABCDEFGHIJ")
+
+    def test_keywords_joined(self, fig5, tmp_path):
+        path = str(tmp_path / "g.graphml")
+        write_graphml(fig5, path)
+        nxg = nx.read_graphml(path)
+        node = "n{}".format(fig5.id_of("A"))
+        assert nxg.nodes[node]["keywords"] == "w|x|y"
+
+    def test_community_flag(self, tmp_path):
+        c = _community()
+        path = str(tmp_path / "g.graphml")
+        write_graphml(c.graph, path, community=c)
+        nxg = nx.read_graphml(path)
+        flags = {node: data["community"]
+                 for node, data in nxg.nodes(data=True)}
+        assert flags["n0"] is True
+        assert flags["n3"] is False
+
+    def test_escaping(self, tmp_path):
+        g = build_graph(1, [], {0: {"a<b"}})
+        g.relabel(0, 'Q&A "quoted"')
+        path = str(tmp_path / "esc.graphml")
+        write_graphml(g, path)
+        nxg = nx.read_graphml(path)
+        assert nxg.nodes["n0"]["label"] == 'Q&A "quoted"'
+
+
+class TestCsv:
+    def test_edge_file(self, tmp_path):
+        c = _community()
+        edge_path = str(tmp_path / "edges.csv")
+        write_community_csv(c, edge_path)
+        with open(edge_path) as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["source", "target"]
+        assert ["n0", "n1"] in rows
+        assert len(rows) == 4  # header + 3 edges
+
+    def test_vertex_file(self, tmp_path):
+        c = _community()
+        edge_path = str(tmp_path / "edges.csv")
+        vertex_path = str(tmp_path / "vertices.csv")
+        write_community_csv(c, edge_path, vertex_path)
+        with open(vertex_path) as f:
+            rows = list(csv.DictReader(f))
+        assert len(rows) == 3
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["n0"]["internal_degree"] == "2"
+        assert by_name["n1"]["keywords"] == "kw1"
+
+    def test_quoting(self, tmp_path):
+        g = build_graph(2, [(0, 1)])
+        g.relabel(0, 'Smith, "Jim"')
+        c = Community(g, {0, 1})
+        edge_path = str(tmp_path / "edges.csv")
+        write_community_csv(c, edge_path)
+        with open(edge_path) as f:
+            rows = list(csv.reader(f))
+        assert rows[1][0] == 'Smith, "Jim"'
+
+
+class TestReadGraphml:
+    def test_roundtrip(self, fig5, tmp_path):
+        from repro.graph.export import read_graphml
+        path = str(tmp_path / "g.graphml")
+        write_graphml(fig5, path)
+        loaded = read_graphml(path)
+        assert loaded.vertex_count == 10
+        assert loaded.edge_count == 11
+        a = loaded.id_of("A")
+        assert loaded.keywords(a) == {"w", "x", "y"}
+
+    def test_label_falls_back_to_node_id(self, tmp_path):
+        from repro.graph.export import read_graphml
+        path = tmp_path / "min.graphml"
+        path.write_text(
+            '<graphml xmlns="http://graphml.graphdrawing.org/xmlns">'
+            '<graph id="G" edgedefault="undirected">'
+            '<node id="x"/><node id="y"/>'
+            '<edge id="e0" source="x" target="y"/>'
+            '</graph></graphml>')
+        g = read_graphml(str(path))
+        assert g.has_label("x") and g.has_label("y")
+        assert g.edge_count == 1
+
+    def test_directed_rejected(self, tmp_path):
+        from repro.graph.export import read_graphml
+        from repro.util.errors import GraphFormatError
+        import pytest
+        path = tmp_path / "d.graphml"
+        path.write_text(
+            '<graphml xmlns="http://graphml.graphdrawing.org/xmlns">'
+            '<graph id="G" edgedefault="directed"></graph></graphml>')
+        with pytest.raises(GraphFormatError):
+            read_graphml(str(path))
+
+    def test_invalid_xml_rejected(self, tmp_path):
+        from repro.graph.export import read_graphml
+        from repro.util.errors import GraphFormatError
+        import pytest
+        path = tmp_path / "bad.graphml"
+        path.write_text("<graphml><unclosed>")
+        with pytest.raises(GraphFormatError):
+            read_graphml(str(path))
+
+    def test_unknown_edge_endpoint_rejected(self, tmp_path):
+        from repro.graph.export import read_graphml
+        from repro.util.errors import GraphFormatError
+        import pytest
+        path = tmp_path / "e.graphml"
+        path.write_text(
+            '<graphml xmlns="http://graphml.graphdrawing.org/xmlns">'
+            '<graph id="G" edgedefault="undirected">'
+            '<node id="x"/>'
+            '<edge id="e0" source="x" target="ghost"/>'
+            '</graph></graphml>')
+        with pytest.raises(GraphFormatError):
+            read_graphml(str(path))
+
+
+class TestCommunitySubgraph:
+    def test_materialises_induced(self):
+        c = _community()
+        sub = community_subgraph(c)
+        assert sub.vertex_count == 3
+        assert sub.edge_count == 3
+        assert sub.has_label("n0")

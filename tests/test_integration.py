@@ -1,0 +1,112 @@
+"""End-to-end scenarios: the paper's demonstration walkthroughs."""
+
+from repro.core.acq import acq_search
+from repro.core.cltree import build_cltree
+from repro.explorer.cexplorer import CExplorer
+
+
+class TestFigure1Walkthrough:
+    """Section 4, 'Community exploration': type a name, pick k, search,
+    read the theme, click a member, explore onward."""
+
+    def test_full_exploration_loop(self, dblp_medium):
+        explorer = CExplorer()
+        explorer.add_graph("dblp", dblp_medium)
+
+        # 1. The user types "jim gray"; the panel shows constraints.
+        options = explorer.query_options("jim gray")
+        assert options["name"] == "Jim Gray"
+        assert 4 in options["degree_choices"]
+
+        # 2. Search with degree >= 4 over the author's keywords.
+        communities = explorer.search("acq", "jim gray", k=4)
+        assert communities
+        community = communities[0]
+        jim = explorer.graph.id_of("Jim Gray")
+        assert jim in community
+        assert community.minimum_internal_degree() >= 4
+
+        # 3. The right panel shows a theme of shared keywords.
+        assert community.theme()
+        # Jim Gray's community is about transactions in our generator.
+        assert "transaction" in community.shared_keywords
+
+        # 4. Click a member: the profile pops up (Figure 2)...
+        member = next(v for v in community if v != jim)
+        profile = explorer.profile(member)
+        assert profile.name == explorer.graph.display_name(member)
+
+        # 5. ... and the user explores the member's own community.
+        onward = explorer.search("acq", member, k=3)
+        assert onward
+        assert member in onward[0]
+
+    def test_exploration_is_instant(self, dblp_medium):
+        """'the communities will be returned instantly': with a prebuilt
+        index an ACQ query must be orders of magnitude below a second."""
+        import time
+        explorer = CExplorer()
+        explorer.add_graph("dblp", dblp_medium)
+        explorer.index()  # offline step
+        start = time.perf_counter()
+        explorer.search("acq", "jim gray", k=4)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 1.0
+
+
+class TestFigure6Walkthrough:
+    """Section 4, 'Comparison analysis': compare four methods."""
+
+    def test_comparison_screen(self, dblp_medium):
+        explorer = CExplorer()
+        explorer.add_graph("dblp", dblp_medium)
+        report = explorer.compare(
+            "jim gray", k=4, methods=("global", "local", "codicil",
+                                      "acq"))
+        rows = {r["method"]: r for r in report.table_rows()}
+        assert set(rows) == {"global", "local", "codicil", "acq"}
+
+        # Shape of the Figure 6(a) table: every method found something,
+        # Global's community is the largest of the four.
+        assert all(rows[m]["communities"] >= 1 for m in rows)
+        sizes = {m: rows[m]["vertices"] for m in rows}
+        assert sizes["global"] == max(sizes.values())
+
+        # Quality bars: ACQ leads both CPJ and CMF (the claim of [4]).
+        bars = report.quality_bars()
+        for other in ("global", "codicil"):
+            assert bars["acq"]["cpj"] >= bars[other]["cpj"]
+            assert bars["acq"]["cmf"] >= bars[other]["cmf"]
+
+        # The view links: render the ACQ and Local communities side by
+        # side as in Figure 6(b).
+        for method in ("acq", "local"):
+            svg = explorer.display(report.results[method][0], fmt="svg")
+            assert svg.startswith("<svg")
+
+
+class TestIndexConsistencyAtScale:
+    def test_index_and_peeling_agree_on_dblp(self, dblp_medium):
+        """The CL-tree answers structural queries identically to direct
+        peeling on the full 2,000-author graph."""
+        from repro.core.kcore import connected_k_core
+        tree = build_cltree(dblp_medium)
+        jim = dblp_medium.id_of("Jim Gray")
+        for k in (1, 2, 4, 6):
+            assert tree.community_vertices(jim, k) == \
+                connected_k_core(dblp_medium, jim, k)
+
+    def test_acq_variants_agree_on_dblp(self, dblp_medium):
+        jim = dblp_medium.id_of("Jim Gray")
+        index = build_cltree(dblp_medium)
+        keywords = sorted(dblp_medium.keywords(jim))[:8]
+        expected = {(c.vertices, c.shared_keywords)
+                    for c in acq_search(dblp_medium, jim, 4,
+                                        keywords=keywords,
+                                        algorithm="dec", index=index)}
+        for algorithm in ("inc-s", "inc-t"):
+            got = {(c.vertices, c.shared_keywords)
+                   for c in acq_search(dblp_medium, jim, 4,
+                                       keywords=keywords,
+                                       algorithm=algorithm, index=index)}
+            assert got == expected

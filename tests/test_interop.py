@@ -1,0 +1,72 @@
+"""Tests for NetworkX interoperability."""
+
+import networkx as nx
+import pytest
+from hypothesis import given
+
+from repro.graph.interop import from_networkx, to_networkx
+from repro.util.errors import GraphFormatError
+
+from conftest import random_graphs
+
+
+class TestToNetworkx:
+    def test_fig5_roundtrip_structure(self, fig5):
+        nxg = to_networkx(fig5)
+        assert nxg.number_of_nodes() == 10
+        assert nxg.number_of_edges() == 11
+        assert nxg.nodes[fig5.id_of("A")]["label"] == "A"
+        assert nxg.nodes[fig5.id_of("A")]["keywords"] == ["w", "x", "y"]
+
+    def test_core_numbers_agree(self, fig5):
+        from repro.core.kcore import core_decomposition
+        nxg = to_networkx(fig5)
+        ours = core_decomposition(fig5)
+        theirs = nx.core_number(nxg)
+        assert all(theirs[v] == ours[v] for v in fig5.vertices())
+
+    @given(random_graphs(keywords=list("ab")))
+    def test_roundtrip_property(self, g):
+        back = from_networkx(to_networkx(g))
+        assert back.vertex_count == g.vertex_count
+        assert sorted(back.edges()) == sorted(g.edges())
+        for v in g.vertices():
+            assert back.keywords(v) == g.keywords(v)
+
+
+class TestFromNetworkx:
+    def test_arbitrary_node_ids(self):
+        nxg = nx.Graph()
+        nxg.add_edge("alice", "bob")
+        nxg.add_node("carol", keywords=["x"])
+        g = from_networkx(nxg)
+        assert g.vertex_count == 3
+        assert g.has_label("alice")
+        assert g.keywords(g.id_of("carol")) == {"x"}
+        assert g.has_edge(g.id_of("alice"), g.id_of("bob"))
+
+    def test_label_attribute_wins(self):
+        nxg = nx.Graph()
+        nxg.add_node(0, label="Jim Gray")
+        g = from_networkx(nxg)
+        assert g.has_label("Jim Gray")
+
+    def test_self_loops_dropped(self):
+        nxg = nx.Graph()
+        nxg.add_edge(0, 0)
+        nxg.add_edge(0, 1)
+        g = from_networkx(nxg)
+        assert g.edge_count == 1
+
+    def test_directed_rejected(self):
+        with pytest.raises(GraphFormatError):
+            from_networkx(nx.DiGraph())
+
+    def test_multigraph_rejected(self):
+        with pytest.raises(GraphFormatError):
+            from_networkx(nx.MultiGraph())
+
+    def test_karate_through_interop(self):
+        g = from_networkx(nx.karate_club_graph())
+        assert g.vertex_count == 34
+        assert g.edge_count == 78

@@ -1,0 +1,112 @@
+"""Metamorphic tests: how results must change when inputs change.
+
+These complement the oracle tests (brute force, NetworkX) with
+relations that hold across *pairs* of runs -- the classic way to catch
+bugs that a single-run invariant cannot see.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.acq import AcqQuery, acq_dec
+from repro.core.kcore import connected_k_core, core_decomposition
+from repro.datasets import DblpConfig, generate_dblp_graph
+
+from conftest import random_graphs
+
+
+class TestAcqMetamorphic:
+    @settings(max_examples=40, deadline=None)
+    @given(random_graphs(max_n=12, max_m=36, keywords=list("abc")),
+           st.integers(0, 3))
+    def test_shrinking_s_cannot_grow_theme_beyond_s(self, g, k):
+        """|L| <= |S| always, and shrinking S can only shrink the
+        optimal theme within the surviving keywords."""
+        for q in range(min(g.vertex_count, 4)):
+            full = acq_dec(AcqQuery(g, q, k))
+            if not full:
+                continue
+            full_theme = full[0].shared_keywords
+            assert full_theme <= g.keywords(q)
+            if not full_theme:
+                continue
+            # Re-query with S restricted to the winning theme: the
+            # same theme must be reachable (it is still shared).
+            again = acq_dec(AcqQuery(g, q, k, keywords=full_theme))
+            assert again
+            assert again[0].shared_keywords == full_theme
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_graphs(max_n=12, max_m=36, keywords=list("ab")))
+    def test_increasing_k_shrinks_structural_community(self, g):
+        """The structural base is antitone in k."""
+        core = core_decomposition(g)
+        for q in range(min(g.vertex_count, 4)):
+            previous = None
+            for k in range(core[q] + 1):
+                comm = connected_k_core(g, q, k)
+                assert comm is not None
+                if previous is not None:
+                    assert comm <= previous
+                previous = comm
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_graphs(max_n=10, max_m=30, keywords=list("ab")),
+           st.integers(0, 2))
+    def test_adding_query_vertex_shrinks_theme(self, g, k):
+        """Adding a second query vertex from the community cannot grow
+        the shared theme (it is an intersection over Q)."""
+        for q in range(min(g.vertex_count, 3)):
+            single = acq_dec(AcqQuery(g, q, k))
+            if not single:
+                continue
+            community = single[0]
+            partner = next((v for v in sorted(community.vertices)
+                            if v != q), None)
+            if partner is None:
+                continue
+            multi = acq_dec(AcqQuery(g, [q, partner], k))
+            if multi:
+                assert len(multi[0].shared_keywords) <= \
+                    len(g.keywords(q))
+                assert multi[0].shared_keywords <= \
+                    g.keywords(q) & g.keywords(partner)
+
+
+class TestGeneratorMetamorphic:
+    def test_more_authors_more_edges(self):
+        small = generate_dblp_graph(DblpConfig(n_authors=200,
+                                               n_communities=4, seed=5))
+        large = generate_dblp_graph(DblpConfig(n_authors=800,
+                                               n_communities=4, seed=5))
+        assert large.edge_count > small.edge_count
+
+    def test_higher_inter_p_more_cross_edges(self):
+        def cross_edges(inter_p):
+            cfg = DblpConfig(n_authors=400, n_communities=4, seed=5,
+                             inter_p=inter_p)
+            graph, communities = generate_dblp_graph(
+                cfg, return_communities=True)
+            member_of = {}
+            for c, members in communities.items():
+                for v in members:
+                    member_of[v] = c
+            return sum(1 for u, v in graph.edges()
+                       if member_of[u] != member_of[v])
+
+        assert cross_edges(0.3) > cross_edges(0.02)
+
+    def test_topic_share_controls_theme_strength(self):
+        def shared_size(topic_share):
+            cfg = DblpConfig(n_authors=300, n_communities=4, seed=5,
+                             topic_share=topic_share)
+            graph, communities = generate_dblp_graph(
+                cfg, return_communities=True)
+            sizes = []
+            for members in communities.values():
+                sample = sorted(members)[:20]
+                shared = frozenset.intersection(
+                    *(graph.keywords(v) for v in sample))
+                sizes.append(len(shared))
+            return sum(sizes) / len(sizes)
+
+        assert shared_size(1.0) > shared_size(0.5)

@@ -1,0 +1,112 @@
+"""Tests for the plug-in registry (the Section 3.1 API)."""
+
+import pytest
+
+from repro.algorithms.registry import (
+    cd_algorithm,
+    cs_algorithm,
+    get_cd_algorithm,
+    get_cs_algorithm,
+    list_cd_algorithms,
+    list_cs_algorithms,
+    register_cd_algorithm,
+    register_cs_algorithm,
+)
+from repro.core.community import Community
+from repro.util.errors import UnknownAlgorithmError
+
+from conftest import build_graph
+
+
+class TestBuiltins:
+    def test_builtin_cs_algorithms_present(self):
+        names = list_cs_algorithms()
+        for expected in ("acq", "acq-inc-s", "acq-inc-t", "global",
+                         "local", "k-truss", "codicil", "steiner",
+                         "atc"):
+            assert expected in names
+
+    def test_atc_adapter_runs(self, dblp_small):
+        q = dblp_small.id_of("Jim Gray")
+        result = get_cs_algorithm("atc")(dblp_small, q, 3)
+        if result:  # feasible for the fixture seed
+            assert q in result[0]
+            assert result[0].method == "ATC"
+
+    def test_builtin_cd_algorithms_present(self):
+        names = list_cd_algorithms()
+        for expected in ("codicil", "newman-girvan", "label-propagation"):
+            assert expected in names
+
+    def test_lookup_case_insensitive(self):
+        assert get_cs_algorithm("ACQ").name == "acq"
+        assert get_cd_algorithm("CODICIL").name == "codicil"
+
+    def test_unknown_raises_with_suggestions(self):
+        with pytest.raises(UnknownAlgorithmError) as exc:
+            get_cs_algorithm("no-such-thing")
+        assert "acq" in str(exc.value)
+
+    def test_builtin_adapters_run(self, fig5):
+        a = fig5.id_of("A")
+        for name in ("acq", "acq-inc-s", "acq-inc-t", "global", "local"):
+            result = get_cs_algorithm(name)(fig5, a, 2)
+            assert result, name
+            assert a in result[0]
+
+    def test_cd_adapters_run(self, fig5):
+        for name in ("newman-girvan", "label-propagation"):
+            communities = get_cd_algorithm(name)(fig5)
+            covered = {v for c in communities for v in c}
+            assert covered == set(fig5.vertices())
+
+
+class TestPluginRegistration:
+    def test_register_and_call_custom_cs(self, fig5):
+        def my_algo(graph, q, k, keywords=None):
+            return [Community(graph, {q}, method="Mine",
+                              query_vertices=(q,), k=k)]
+        register_cs_algorithm("test-mine", my_algo, "demo plug-in")
+        try:
+            algo = get_cs_algorithm("test-mine")
+            assert algo.description == "demo plug-in"
+            result = algo(fig5, 0, 2)
+            assert result[0].method == "Mine"
+        finally:
+            from repro.algorithms import registry
+            registry._CS.pop("test-mine", None)
+
+    def test_duplicate_registration_rejected(self):
+        def noop(graph, q, k, keywords=None):
+            return []
+        register_cs_algorithm("test-dup", noop)
+        try:
+            with pytest.raises(ValueError):
+                register_cs_algorithm("test-dup", noop)
+            register_cs_algorithm("test-dup", noop, overwrite=True)
+        finally:
+            from repro.algorithms import registry
+            registry._CS.pop("test-dup", None)
+
+    def test_decorator_forms(self):
+        from repro.algorithms import registry
+
+        @cs_algorithm("test-deco-cs")
+        def my_cs(graph, q, k, keywords=None):
+            return []
+
+        @cd_algorithm("test-deco-cd")
+        def my_cd(graph):
+            return []
+
+        try:
+            assert "test-deco-cs" in list_cs_algorithms()
+            assert "test-deco-cd" in list_cd_algorithms()
+        finally:
+            registry._CS.pop("test-deco-cs", None)
+            registry._CD.pop("test-deco-cd", None)
+
+    def test_info_repr(self):
+        info = get_cs_algorithm("acq")
+        assert "acq" in repr(info)
+        assert info.kind == "cs"

@@ -1,0 +1,168 @@
+"""Tests for the query cache and exploration sessions."""
+
+import threading
+
+import pytest
+
+from repro.explorer.sessions import (
+    ExplorationSession,
+    QueryCache,
+    SessionStore,
+)
+
+
+class TestQueryCache:
+    def test_put_get(self):
+        cache = QueryCache()
+        key = cache.key("g", "acq", 3, 4)
+        assert cache.get(key) is None
+        cache.put(key, ["result"])
+        assert cache.get(key) == ["result"]
+
+    def test_key_normalises_vertex_collections(self):
+        cache = QueryCache()
+        assert cache.key("g", "acq", [3, 1], 4) == \
+            cache.key("g", "acq", (1, 3), 4)
+        assert cache.key("g", "acq", 1, 4, {"a", "b"}) == \
+            cache.key("g", "acq", 1, 4, ["b", "a"])
+
+    def test_lru_eviction(self):
+        cache = QueryCache(capacity=2)
+        k1, k2, k3 = (("g", "a", i, 0, None) for i in range(3))
+        cache.put(k1, 1)
+        cache.put(k2, 2)
+        cache.get(k1)        # refresh k1: k2 becomes the LRU entry
+        cache.put(k3, 3)
+        assert cache.get(k1) == 1
+        assert cache.get(k2) is None
+        assert cache.get(k3) == 3
+
+    def test_invalidate_single_graph(self):
+        cache = QueryCache()
+        cache.put(cache.key("g1", "acq", 1, 2), "a")
+        cache.put(cache.key("g2", "acq", 1, 2), "b")
+        cache.invalidate("g1")
+        assert cache.get(cache.key("g1", "acq", 1, 2)) is None
+        assert cache.get(cache.key("g2", "acq", 1, 2)) == "b"
+
+    def test_invalidate_all(self):
+        cache = QueryCache()
+        cache.put(cache.key("g", "acq", 1, 2), "a")
+        cache.invalidate()
+        assert len(cache) == 0
+
+    def test_stats(self):
+        cache = QueryCache(capacity=8)
+        key = cache.key("g", "acq", 1, 2)
+        cache.get(key)
+        cache.put(key, "x")
+        cache.get(key)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["entries"] == 1
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            QueryCache(capacity=0)
+
+    def test_thread_safety_smoke(self):
+        cache = QueryCache(capacity=64)
+        errors = []
+
+        def worker(wid):
+            try:
+                for i in range(200):
+                    key = cache.key("g", "acq", i % 40, wid % 3)
+                    cache.put(key, i)
+                    cache.get(key)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 64
+
+
+class TestExplorationSession:
+    def test_record_and_history(self):
+        session = ExplorationSession("s1")
+        session.record("acq", "jim gray", 4, 1)
+        session.record("global", "jim gray", 4, 1, keywords={"data"})
+        assert len(session) == 2
+        history = session.history()
+        assert history[0]["algorithm"] == "global"  # most recent first
+        assert history[0]["keywords"] == ["data"]
+        assert history[1]["algorithm"] == "acq"
+
+    def test_history_limit(self):
+        session = ExplorationSession("s1")
+        for i in range(5):
+            session.record("acq", "v{}".format(i), 4, 1)
+        assert len(session.history(limit=2)) == 2
+
+    def test_last(self):
+        session = ExplorationSession("s1")
+        assert session.last() is None
+        session.record("acq", "x", 1, 0)
+        assert session.last()["vertex"] == "x"
+
+    def test_max_entries_trim(self):
+        session = ExplorationSession("s1", max_entries=3)
+        for i in range(10):
+            session.record("acq", "v{}".format(i), 4, 1)
+        assert len(session) == 3
+        assert session.last()["vertex"] == "v9"
+
+
+class TestSessionStore:
+    def test_create_unique_ids(self):
+        store = SessionStore()
+        a, b = store.create(), store.create()
+        assert a.session_id != b.session_id
+        assert len(store) == 2
+
+    def test_get_creates_when_allowed(self):
+        store = SessionStore()
+        session = store.get("browser-123")
+        assert session.session_id == "browser-123"
+        assert store.get("browser-123") is session
+
+    def test_get_strict(self):
+        store = SessionStore()
+        assert store.get("ghost", create_missing=False) is None
+
+
+class TestExplorerCacheIntegration:
+    def test_repeated_search_hits_cache(self, dblp_small):
+        from repro.explorer.cexplorer import CExplorer
+        explorer = CExplorer()
+        explorer.add_graph("dblp", dblp_small)
+        first = explorer.search("acq", "jim gray", k=3)
+        assert explorer.cache.stats()["misses"] >= 1
+        second = explorer.search("acq", "jim gray", k=3)
+        assert second is first  # the exact cached list
+        assert explorer.cache.stats()["hits"] >= 1
+
+    def test_cache_bypass(self, dblp_small):
+        from repro.explorer.cexplorer import CExplorer
+        explorer = CExplorer()
+        explorer.add_graph("dblp", dblp_small)
+        first = explorer.search("acq", "jim gray", k=3, use_cache=False)
+        second = explorer.search("acq", "jim gray", k=3, use_cache=False)
+        assert second is not first
+        assert explorer.cache.stats()["hits"] == 0
+
+    def test_replacing_graph_invalidates(self, dblp_small):
+        from repro.explorer.cexplorer import CExplorer
+        explorer = CExplorer()
+        explorer.add_graph("dblp", dblp_small)
+        explorer.search("acq", "jim gray", k=3)
+        explorer.add_graph("dblp", dblp_small.copy())
+        assert len(explorer.cache) == 0

@@ -1,0 +1,69 @@
+"""Tests for the statistics table (Figure 6(a) bottom)."""
+
+import pytest
+
+from repro.analysis.statistics import (
+    community_statistics,
+    format_table,
+    statistics_table,
+)
+from repro.core.community import Community
+
+from conftest import build_graph
+
+
+def _two_triangles_graph():
+    return build_graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)],
+                       {v: {"x"} for v in range(6)})
+
+
+class TestCommunityStatistics:
+    def test_empty_result_row(self):
+        row = community_statistics([])
+        assert row["communities"] == 0
+        assert row["vertices"] == 0.0
+        assert row["cmf"] == 0.0
+
+    def test_single_community(self):
+        g = _two_triangles_graph()
+        c = Community(g, {0, 1, 2}, query_vertices=(0,))
+        row = community_statistics([c])
+        assert row == {
+            "communities": 1, "vertices": 3.0, "edges": 3.0,
+            "degree": 2.0, "cpj": 1.0, "density": 1.0, "cmf": 1.0,
+        }
+
+    def test_averages_across_communities(self):
+        g = _two_triangles_graph()
+        a = Community(g, {0, 1, 2}, query_vertices=(0,))
+        b = Community(g, {3, 4}, query_vertices=(0,))
+        row = community_statistics([a, b])
+        assert row["communities"] == 2
+        assert row["vertices"] == pytest.approx(2.5)
+        assert row["edges"] == pytest.approx(2.0)  # (3 + 1) / 2
+
+    def test_explicit_query_vertex_used_for_cmf(self):
+        g = build_graph(2, [(0, 1)], {0: {"a"}, 1: set()})
+        c = Community(g, {0, 1})
+        row = community_statistics([c], query_vertex=0)
+        assert row["cmf"] == pytest.approx(0.5)
+
+
+class TestStatisticsTable:
+    def test_rows_preserve_method_order(self):
+        g = _two_triangles_graph()
+        c = Community(g, {0, 1, 2}, query_vertices=(0,))
+        rows = statistics_table({"global": [c], "acq": [c]})
+        assert [r["method"] for r in rows] == ["global", "acq"]
+
+    def test_format_table_renders_fig6_columns(self):
+        g = _two_triangles_graph()
+        c = Community(g, {0, 1, 2}, query_vertices=(0,))
+        text = format_table(statistics_table({"ACQ": [c]}))
+        lines = text.splitlines()
+        assert "Method" in lines[0]
+        assert "Vertices" in lines[0]
+        assert "ACQ" in lines[2]
+
+    def test_format_table_empty(self):
+        assert "Method" in format_table([])

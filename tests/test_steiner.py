@@ -1,0 +1,145 @@
+"""Tests for Steiner maximum-core community search (ref [6])."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.steiner import (
+    steiner_community_search,
+    steiner_max_core,
+)
+from repro.core.kcore import core_decomposition
+from repro.util.errors import QueryError
+
+from conftest import build_graph, random_graphs
+
+
+def _two_cliques_with_bridge():
+    """Two K4s joined by a 2-path; useful for minimality checks."""
+    edges = [(i, j) for i in range(4) for j in range(i)]
+    edges += [(i + 4, j + 4) for i in range(4) for j in range(i)]
+    edges += [(3, 8), (8, 4)]
+    return build_graph(9, edges)
+
+
+class TestSteinerMaxCore:
+    def test_single_vertex_max_core(self, fig5):
+        k, comp = steiner_max_core(fig5, [fig5.id_of("A")])
+        assert k == 3
+        assert {fig5.label(v) for v in comp} == {"A", "B", "C", "D"}
+
+    def test_pair_limited_by_weaker_vertex(self, fig5):
+        k, comp = steiner_max_core(fig5, [fig5.id_of("A"),
+                                          fig5.id_of("E")])
+        assert k == 2
+        assert fig5.id_of("E") in comp
+
+    def test_pair_limited_by_connectivity(self):
+        g = _two_cliques_with_bridge()
+        # 0 and 5 each sit in a 3-core, but the bridge vertex has core
+        # 2, so they are only connected at k <= 2.
+        k, comp = steiner_max_core(g, [0, 5])
+        assert k == 2
+        assert {0, 5} <= comp
+        assert 8 in comp  # the bridge is part of the connecting core
+
+    def test_disconnected_queries_raise(self, fig5):
+        with pytest.raises(QueryError, match="not connected"):
+            steiner_max_core(fig5, [fig5.id_of("A"), fig5.id_of("H")])
+
+    def test_empty_query_rejected(self, fig5):
+        with pytest.raises(QueryError):
+            steiner_max_core(fig5, [])
+
+    def test_unknown_vertex_rejected(self, fig5):
+        with pytest.raises(QueryError):
+            steiner_max_core(fig5, [999])
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_graphs(max_n=16, max_m=50), st.data())
+    def test_kstar_is_maximal(self, g, data):
+        """Property: Q connected in the k*-core but not the (k*+1)-core."""
+        from repro.core.kcore import connected_k_core
+        n = g.vertex_count
+        qs = data.draw(st.lists(st.integers(0, n - 1), min_size=1,
+                                max_size=3, unique=True))
+        try:
+            k_star, comp = steiner_max_core(g, qs)
+        except QueryError:
+            return  # disconnected query set: nothing to check
+        assert all(q in comp for q in qs)
+        higher = connected_k_core(g, qs[0], k_star + 1)
+        assert higher is None or not all(q in higher for q in qs)
+
+
+class TestSteinerCommunitySearch:
+    def test_minimal_community_on_bridge_graph(self):
+        g = _two_cliques_with_bridge()
+        result = steiner_community_search(g, [0, 5])
+        assert len(result) == 1
+        community = result[0]
+        assert {0, 5} <= community.vertices
+        assert community.method == "Steiner"
+        assert community.minimum_internal_degree() >= community.k
+
+    def test_single_query_is_contained_in_its_core(self, fig5):
+        a = fig5.id_of("A")
+        result = steiner_community_search(fig5, [a])
+        community = result[0]
+        assert a in community
+        assert community.k == 3
+        assert community.vertices <= {fig5.id_of(x) for x in "ABCD"}
+
+    def test_explicit_k(self, fig5):
+        a = fig5.id_of("A")
+        result = steiner_community_search(fig5, [a], k=2)
+        assert result[0].k == 2
+        assert result[0].minimum_internal_degree() >= 2
+
+    def test_explicit_k_too_large(self, fig5):
+        assert steiner_community_search(fig5, [fig5.id_of("A")], k=9) == []
+
+    def test_smaller_than_global(self, dblp_small):
+        """The point of SMCS: a certificate much smaller than the whole
+        k-core component."""
+        from repro.algorithms.global_search import global_search
+        jim = dblp_small.id_of("Jim Gray")
+        partner = max(dblp_small.neighbors(jim),
+                      key=lambda v: dblp_small.degree(v))
+        steiner = steiner_community_search(dblp_small, [jim, partner])[0]
+        glob = global_search(dblp_small, jim, steiner.k)
+        assert glob
+        assert len(steiner) <= len(glob[0])
+
+    @settings(max_examples=30, deadline=None)
+    @given(random_graphs(max_n=14, max_m=40), st.data())
+    def test_result_invariants(self, g, data):
+        """Property: the community contains Q, is connected, and meets
+        the returned degree bound."""
+        n = g.vertex_count
+        qs = data.draw(st.lists(st.integers(0, n - 1), min_size=1,
+                                max_size=2, unique=True))
+        try:
+            result = steiner_community_search(g, qs)
+        except QueryError:
+            return
+        community = result[0]
+        for q in qs:
+            assert q in community
+        assert community.minimum_internal_degree() >= community.k
+        members = community.vertices
+        seen = {qs[0]}
+        stack = [qs[0]]
+        while stack:
+            u = stack.pop()
+            for w in g.neighbors(u):
+                if w in members and w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        assert seen == set(members)
+
+    def test_registry_integration(self, dblp_small):
+        from repro.algorithms.registry import get_cs_algorithm
+        jim = dblp_small.id_of("Jim Gray")
+        result = get_cs_algorithm("steiner")(dblp_small, jim, 3)
+        assert result
+        assert result[0].k == 3

@@ -1,0 +1,90 @@
+"""Tests for theme inference."""
+
+import pytest
+
+from repro.analysis.themes import infer_theme, keyword_frequencies, theme_of
+from repro.core.community import Community
+
+from conftest import build_graph
+
+
+def _graph_with_topic_community():
+    """Vertices 0-3: topic words + ubiquitous filler; 4-9: filler only."""
+    kws = {}
+    for v in range(4):
+        kws[v] = {"graphs", "cores", "data"}
+    for v in range(4, 10):
+        kws[v] = {"data", "misc{}".format(v)}
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0)]
+    return build_graph(10, edges, kws)
+
+
+class TestKeywordFrequencies:
+    def test_fractions(self):
+        g = _graph_with_topic_community()
+        c = Community(g, {0, 1, 2, 3})
+        freq = keyword_frequencies(c)
+        assert freq["graphs"] == 1.0
+        assert freq["data"] == 1.0
+
+    def test_partial_support(self):
+        g = build_graph(2, [(0, 1)], {0: {"a"}, 1: {"b"}})
+        freq = keyword_frequencies(Community(g, {0, 1}))
+        assert freq == {"a": 0.5, "b": 0.5}
+
+
+class TestInferTheme:
+    def test_distinctive_beats_ubiquitous(self):
+        g = _graph_with_topic_community()
+        c = Community(g, {0, 1, 2, 3})
+        theme = infer_theme(c, top=2)
+        # "data" is on every vertex of the graph; the topic words are
+        # community-specific and must outrank it.
+        assert set(theme) == {"graphs", "cores"}
+
+    def test_naive_mode_keeps_frequency_order(self):
+        g = _graph_with_topic_community()
+        c = Community(g, {0, 1, 2, 3})
+        theme = infer_theme(c, top=3, distinctive=False)
+        assert set(theme) == {"cores", "data", "graphs"}
+
+    def test_min_support_filters(self):
+        g = build_graph(4, [], {0: {"rare"}, 1: {"x"}, 2: {"x"},
+                               3: {"x"}})
+        c = Community(g, {0, 1, 2, 3})
+        assert "rare" not in infer_theme(c, min_support=0.5)
+
+    def test_degenerate_community_falls_back(self):
+        g = build_graph(3, [], {0: {"a"}, 1: {"b"}, 2: {"c"}})
+        c = Community(g, {0, 1, 2})
+        assert infer_theme(c, min_support=0.9)  # still returns something
+
+    def test_top_limit(self):
+        g = _graph_with_topic_community()
+        c = Community(g, {0, 1, 2, 3})
+        assert len(infer_theme(c, top=1)) == 1
+
+
+class TestThemeOf:
+    def test_attributed_community_uses_shared(self):
+        g = _graph_with_topic_community()
+        c = Community(g, {0, 1}, shared_keywords={"zz"})
+        assert theme_of(c) == ["zz"]
+
+    def test_structural_community_gets_inferred_theme(self, dblp_small):
+        from repro.algorithms.global_search import global_search
+        q = dblp_small.id_of("Jim Gray")
+        community = global_search(dblp_small, q, 3)[0]
+        assert not community.shared_keywords
+        theme = theme_of(community, top=5)
+        assert 1 <= len(theme) <= 5
+
+    def test_local_community_theme_matches_topic(self, dblp_small):
+        """Local around Jim Gray should infer the transaction topic."""
+        from repro.algorithms.local_search import local_search
+        q = dblp_small.id_of("Jim Gray")
+        community = local_search(dblp_small, q, 3)[0]
+        theme = set(theme_of(community, top=8))
+        topic = {"transaction", "recovery", "concurrency", "locking",
+                 "logging", "isolation", "acid", "commit"}
+        assert len(theme & topic) >= 4

@@ -1,0 +1,89 @@
+"""Tests for triangle-connected k-truss community search."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms.truss_search import truss_community_search
+from repro.core.ktruss import truss_decomposition
+from repro.util.errors import QueryError
+
+from conftest import build_graph, random_graphs
+
+
+def _bowtie():
+    """Two triangles sharing vertex 2 (the classic truss showcase)."""
+    return build_graph(5, [(0, 1), (1, 2), (0, 2),
+                           (2, 3), (3, 4), (2, 4)])
+
+
+class TestTrussCommunitySearch:
+    def test_bowtie_gives_two_communities(self):
+        """The shared vertex belongs to TWO 3-truss communities; plain
+        k-core would merge them -- this is the point of the model."""
+        g = _bowtie()
+        communities = truss_community_search(g, 2, 3)
+        assert len(communities) == 2
+        member_sets = sorted(sorted(c.vertices) for c in communities)
+        assert member_sets == [[0, 1, 2], [2, 3, 4]]
+
+    def test_non_central_vertex_gets_one(self):
+        g = _bowtie()
+        communities = truss_community_search(g, 0, 3)
+        assert len(communities) == 1
+        assert sorted(communities[0].vertices) == [0, 1, 2]
+
+    def test_k4_is_one_community(self):
+        g = build_graph(4, [(i, j) for i in range(4) for j in range(i)])
+        communities = truss_community_search(g, 0, 4)
+        assert len(communities) == 1
+        assert communities[0].vertices == frozenset(range(4))
+
+    def test_no_community_when_truss_too_small(self):
+        g = build_graph(3, [(0, 1), (1, 2)])
+        assert truss_community_search(g, 0, 3) == []
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(QueryError):
+            truss_community_search(_bowtie(), 0, 1)
+
+    def test_unknown_vertex(self):
+        with pytest.raises(QueryError):
+            truss_community_search(_bowtie(), 50, 3)
+
+    def test_precomputed_truss_reused(self):
+        g = _bowtie()
+        truss = truss_decomposition(g)
+        a = truss_community_search(g, 2, 3, truss=truss)
+        b = truss_community_search(g, 2, 3)
+        assert {c.vertices for c in a} == {c.vertices for c in b}
+
+    def test_method_and_metadata(self):
+        c = truss_community_search(_bowtie(), 0, 3)[0]
+        assert c.method == "k-truss"
+        assert c.query_vertices == (0,)
+        assert c.k == 3
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_graphs(max_n=14, max_m=45), st.integers(3, 5))
+    def test_edges_meet_truss_threshold(self, g, k):
+        """Property: every edge inside a returned community has truss
+        number >= k in the original graph."""
+        truss = truss_decomposition(g)
+        for q in range(min(g.vertex_count, 4)):
+            for community in truss_community_search(g, q, k, truss=truss):
+                assert q in community
+                # q's community edges are all k-truss edges.
+                for u, v in community.induced_edges():
+                    key = (u, v) if u < v else (v, u)
+                    # Edges between community members that are not part
+                    # of the truss bundle may exist; the defining edges
+                    # are those adjacent to triangles. At minimum q's
+                    # incident community edges that seeded the search
+                    # must qualify.
+                for u in g.neighbors(q):
+                    if u in community:
+                        key = (min(q, u), max(q, u))
+                        if truss.get(key, 0) >= k:
+                            break
+                else:
+                    pytest.fail("no strong edge at q")

@@ -1,0 +1,66 @@
+"""Tests for graph validation (the upload sanity checks)."""
+
+import pytest
+
+from repro.graph.attributed import AttributedGraph
+from repro.graph.validation import validate_graph
+from repro.util.errors import GraphFormatError
+
+
+def test_valid_graph_report(fig5):
+    report = validate_graph(fig5)
+    assert report["isolated_vertices"] == 1  # J
+    assert report["vertices_without_keywords"] == 0
+
+
+def test_require_keywords(fig5):
+    g = AttributedGraph()
+    g.add_vertex("a")
+    with pytest.raises(GraphFormatError, match="empty keyword"):
+        validate_graph(g, require_keywords=True)
+    validate_graph(fig5, require_keywords=True)
+
+
+def test_detects_asymmetric_adjacency():
+    g = AttributedGraph()
+    g.add_vertex()
+    g.add_vertex()
+    g.add_edge(0, 1)
+    g.neighbors(1).discard(0)  # corrupt the internal structure
+    with pytest.raises(GraphFormatError, match="asymmetric"):
+        validate_graph(g)
+
+
+def test_detects_bad_edge_counter():
+    g = AttributedGraph()
+    g.add_vertex()
+    g.add_vertex()
+    g.add_edge(0, 1)
+    g._m = 5  # corrupt the counter
+    with pytest.raises(GraphFormatError, match="edge counter"):
+        validate_graph(g)
+
+
+def test_detects_self_loop():
+    g = AttributedGraph()
+    g.add_vertex()
+    g.neighbors(0).add(0)  # bypass add_edge's guard
+    with pytest.raises(GraphFormatError, match="self-loop"):
+        validate_graph(g)
+
+
+def test_detects_dangling_neighbor():
+    g = AttributedGraph()
+    g.add_vertex()
+    g.neighbors(0).add(99)
+    with pytest.raises(GraphFormatError, match="unknown vertex"):
+        validate_graph(g)
+
+
+def test_counts_isolated_and_keywordless():
+    g = AttributedGraph()
+    g.add_vertex("a", {"x"})
+    g.add_vertex("b")
+    report = validate_graph(g)
+    assert report["isolated_vertices"] == 2
+    assert report["vertices_without_keywords"] == 1

@@ -1,0 +1,94 @@
+"""Tests for SubgraphView."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.views import SubgraphView
+
+from conftest import build_graph, random_graphs
+
+
+def _triangle_plus_tail():
+    # 0-1-2 triangle, 2-3 tail, 4 isolated
+    return build_graph(5, [(0, 1), (1, 2), (0, 2), (2, 3)])
+
+
+class TestSubgraphView:
+    def test_membership_and_len(self):
+        g = _triangle_plus_tail()
+        view = SubgraphView(g, [0, 1, 2])
+        assert len(view) == 3
+        assert 0 in view and 3 not in view
+
+    def test_degree_counts_only_inside(self):
+        g = _triangle_plus_tail()
+        view = SubgraphView(g, [0, 1, 2])
+        assert view.degree(2) == 2  # edge to 3 excluded
+        assert view.degree(0) == 2
+
+    def test_neighbors_filtered(self):
+        g = _triangle_plus_tail()
+        view = SubgraphView(g, [1, 2, 3])
+        assert set(view.neighbors(2)) == {1, 3}
+
+    def test_degree_of_outsider_raises(self):
+        g = _triangle_plus_tail()
+        view = SubgraphView(g, [0, 1])
+        with pytest.raises(KeyError):
+            view.degree(4)
+        with pytest.raises(KeyError):
+            list(view.neighbors(4))
+
+    def test_view_copies_input_set(self):
+        g = _triangle_plus_tail()
+        members = {0, 1}
+        view = SubgraphView(g, members)
+        members.add(2)
+        assert 2 not in view
+
+    def test_discard_peels(self):
+        g = _triangle_plus_tail()
+        view = SubgraphView(g, [0, 1, 2, 3])
+        view.discard(3)
+        assert 3 not in view
+        assert view.edge_count == 3
+        view.discard(3)  # no-op
+        assert len(view) == 3
+
+    def test_edge_count_and_edges(self):
+        g = _triangle_plus_tail()
+        view = SubgraphView(g, [0, 1, 2, 3])
+        assert view.edge_count == 4
+        assert sorted(view.edges()) == [(0, 1), (0, 2), (1, 2), (2, 3)]
+
+    def test_connected_component_within_view(self):
+        g = _triangle_plus_tail()
+        view = SubgraphView(g, [0, 1, 3])  # 2 missing: 3 disconnected
+        assert view.connected_component(0) == {0, 1}
+        assert view.connected_component(3) == {3}
+
+    def test_connected_components(self):
+        g = _triangle_plus_tail()
+        view = SubgraphView(g, [0, 1, 3, 4])
+        comps = sorted(sorted(c) for c in view.connected_components())
+        assert comps == [[0, 1], [3], [4]]
+
+    def test_vertex_set_is_copy(self):
+        g = _triangle_plus_tail()
+        view = SubgraphView(g, [0, 1])
+        vs = view.vertex_set()
+        vs.add(2)
+        assert 2 not in view
+
+
+@given(random_graphs(), st.data())
+def test_view_matches_materialised_subgraph(g, data):
+    """Property: a view agrees with the materialised induced subgraph."""
+    n = g.vertex_count
+    members = data.draw(st.sets(st.integers(0, n - 1)))
+    view = SubgraphView(g, members)
+    sub, mapping = g.induced_subgraph(members)
+    assert view.vertex_count == sub.vertex_count
+    assert view.edge_count == sub.edge_count
+    for old, new in mapping.items():
+        assert view.degree(old) == sub.degree(new)

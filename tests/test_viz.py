@@ -1,0 +1,154 @@
+"""Tests for layouts and renderers (the display API)."""
+
+import math
+
+import pytest
+
+from repro.core.community import Community
+from repro.viz.layout import circular_layout, ego_layout, spring_layout
+from repro.viz.render import render_ascii, render_svg, save_svg
+
+from conftest import build_graph
+
+
+@pytest.fixture
+def star_community():
+    g = build_graph(5, [(0, i) for i in range(1, 5)],
+                    {v: {"x"} for v in range(5)})
+    return Community(g, set(range(5)), query_vertices=(0,),
+                     shared_keywords={"x"}, method="test")
+
+
+def _in_unit_square(pos):
+    return all(0.0 <= x <= 1.0 and 0.0 <= y <= 1.0
+               for x, y in pos.values())
+
+
+class TestCircularLayout:
+    def test_covers_all_vertices(self, star_community):
+        pos = circular_layout(star_community)
+        assert set(pos) == set(star_community.vertices)
+        assert _in_unit_square(pos)
+
+    def test_points_equidistant_from_center(self, star_community):
+        pos = circular_layout(star_community)
+        radii = [math.hypot(x - 0.5, y - 0.5) for x, y in pos.values()]
+        assert max(radii) - min(radii) < 1e-9
+
+    def test_deterministic(self, star_community):
+        assert circular_layout(star_community) == \
+            circular_layout(star_community)
+
+
+class TestSpringLayout:
+    def test_covers_all_vertices(self, star_community):
+        pos = spring_layout(star_community, iterations=20, seed=1)
+        assert set(pos) == set(star_community.vertices)
+        assert _in_unit_square(pos)
+
+    def test_deterministic_under_seed(self, star_community):
+        a = spring_layout(star_community, seed=3)
+        b = spring_layout(star_community, seed=3)
+        assert a == b
+
+    def test_connected_pair_closer_than_disconnected(self):
+        # Path 0-1  2 (isolated but drawn together)
+        g = build_graph(3, [(0, 1)])
+        c = Community(g, {0, 1, 2})
+        pos = spring_layout(c, iterations=120, seed=2)
+        d01 = math.dist(pos[0], pos[1])
+        d02 = math.dist(pos[0], pos[2])
+        assert d01 < d02
+
+    def test_empty_and_single(self):
+        g = build_graph(1, [])
+        assert spring_layout(Community(g, {0})) == {0: (0.5, 0.5)}
+
+    def test_initial_positions_respected(self, star_community):
+        init = {v: (0.5, 0.5) for v in star_community.vertices}
+        pos = spring_layout(star_community, iterations=0, initial=init)
+        assert pos == init
+
+
+class TestEgoLayout:
+    def test_query_vertex_centred(self, star_community):
+        pos = ego_layout(star_community)
+        assert pos[0] == (0.5, 0.5)
+
+    def test_leaves_on_one_ring(self, star_community):
+        pos = ego_layout(star_community)
+        radii = {round(math.hypot(x - 0.5, y - 0.5), 6)
+                 for v, (x, y) in pos.items() if v != 0}
+        assert len(radii) == 1
+
+    def test_rings_by_bfs_distance(self):
+        g = build_graph(3, [(0, 1), (1, 2)])
+        c = Community(g, {0, 1, 2}, query_vertices=(0,))
+        pos = ego_layout(c)
+        r1 = math.hypot(pos[1][0] - 0.5, pos[1][1] - 0.5)
+        r2 = math.hypot(pos[2][0] - 0.5, pos[2][1] - 0.5)
+        assert r1 < r2
+
+    def test_explicit_center(self, star_community):
+        pos = ego_layout(star_community, center=3)
+        assert pos[3] == (0.5, 0.5)
+
+    def test_center_defaults_to_min_vertex_without_query(self):
+        g = build_graph(2, [(0, 1)])
+        pos = ego_layout(Community(g, {0, 1}))
+        assert pos[0] == (0.5, 0.5)
+
+
+class TestRenderSvg:
+    def test_svg_structure(self, star_community):
+        svg = render_svg(star_community)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert svg.count("<circle") == 5
+        assert svg.count("<line") == 4
+        assert "Theme: x" in svg
+
+    def test_query_vertex_highlighted(self, star_community):
+        svg = render_svg(star_community)
+        assert "#d9534f" in svg  # query colour present
+
+    def test_labels_suppressed_beyond_limit(self, star_community):
+        svg = render_svg(star_community, label_limit=2)
+        # only the query vertex keeps its label
+        assert svg.count("<text") == 2  # label + theme line
+
+    def test_title_escaped(self, star_community):
+        svg = render_svg(star_community, title="a < b & c")
+        assert "a &lt; b &amp; c" in svg
+
+    def test_save_svg(self, star_community, tmp_path):
+        path = str(tmp_path / "c.svg")
+        assert save_svg(star_community, path) == path
+        with open(path) as f:
+            assert f.read().startswith("<svg")
+
+    def test_custom_layout_used(self, star_community):
+        layout = {v: (0.0, 0.0) for v in star_community.vertices}
+        svg = render_svg(star_community, layout=layout, width=100,
+                         height=100)
+        # All circles collapse onto the padded origin.
+        assert svg.count('cx="30.0"') == 5
+
+
+class TestRenderAscii:
+    def test_contains_markers_and_theme(self, star_community):
+        art = render_ascii(star_community)
+        assert "@" in art
+        assert "o" in art
+        assert "Theme: x" in art
+
+    def test_legend_lists_members(self, star_community):
+        art = render_ascii(star_community)
+        for name in star_community.member_names():
+            assert name in art
+
+    def test_large_community_skips_legend(self):
+        g = build_graph(40, [(0, i) for i in range(1, 40)])
+        c = Community(g, set(range(40)), query_vertices=(0,))
+        art = render_ascii(c)
+        assert "n39" not in art
