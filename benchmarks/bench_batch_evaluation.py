@@ -10,7 +10,7 @@ indexed CS methods stay in interactive latency per query.
 
 from repro.analysis.batch import batch_evaluate, format_batch_table
 
-from conftest import write_artifact
+from bench_common import write_artifact
 
 METHODS = ("global", "local", "acq")
 

@@ -13,7 +13,7 @@ import pytest
 
 from repro.core.acq import AcqQuery, acq_search, brute_force_acq
 
-from conftest import write_artifact
+from bench_common import write_artifact
 
 # Keep sizes small: the whole point is that brute force explodes.
 SIZES = [4, 6, 8, 10, 12]

@@ -14,7 +14,7 @@ import pytest
 
 from repro.core.cltree import build_cltree, build_cltree_basic
 
-from conftest import dblp_sized, write_artifact
+from bench_common import dblp_sized, write_artifact
 
 SIZES = [500, 1000, 2000, 4000, 8000]
 

@@ -1,0 +1,33 @@
+"""Importable helpers shared by the benchmarks.
+
+These used to live in ``benchmarks/conftest.py``, but test modules
+importing helpers *by module name* from a conftest collide with
+``tests/conftest.py`` whenever both directories end up on ``sys.path``
+(pytest inserts each rootdir during collection, and two modules cannot
+both be ``conftest``).  Fixtures stay in the conftest -- pytest wires
+those by mechanism, not by name -- while anything benchmarks import
+explicitly lives here under a collision-free name.
+"""
+
+import os
+
+from repro.datasets import DblpConfig, generate_dblp_graph
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def write_artifact(name, text):
+    """Persist a regenerated table/figure under benchmarks/out/."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, name)
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text if text.endswith("\n") else text + "\n")
+    return path
+
+
+def dblp_sized(n, seed=7):
+    """A generated graph with ~n authors (for scaling sweeps)."""
+    communities = max(4, n // 85)
+    return generate_dblp_graph(DblpConfig(n_authors=n,
+                                          n_communities=communities,
+                                          seed=seed))

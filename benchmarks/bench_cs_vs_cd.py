@@ -16,7 +16,7 @@ from repro.algorithms.local_search import local_search
 from repro.algorithms.newman_girvan import newman_girvan
 from repro.core.acq import acq_search
 
-from conftest import dblp_sized, write_artifact
+from bench_common import dblp_sized, write_artifact
 
 
 def test_cs_acq_latency(benchmark, dblp, jim, dblp_index):

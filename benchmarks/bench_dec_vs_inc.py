@@ -14,7 +14,7 @@ import pytest
 
 from repro.core.acq import acq_search
 
-from conftest import write_artifact
+from bench_common import write_artifact
 
 _RESULTS = {}
 

@@ -14,7 +14,7 @@ from repro.algorithms.label_propagation import label_propagation
 from repro.analysis.ground_truth import evaluate_partition, partition_f1
 from repro.datasets.lfr import generate_planted_partition
 
-from conftest import write_artifact
+from bench_common import write_artifact
 
 
 def test_detection_quality_sweep(benchmark):

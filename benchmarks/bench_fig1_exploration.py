@@ -9,7 +9,7 @@ panel: the community, its theme, and the member list.
 
 from repro.core.acq import acq_search
 
-from conftest import write_artifact
+from bench_common import write_artifact
 
 
 def test_fig1_acq_exploration_query(benchmark, dblp, dblp_index, jim):

@@ -7,7 +7,7 @@ continue to explore Michael's communities").
 
 from repro.core.acq import acq_search
 
-from conftest import write_artifact
+from bench_common import write_artifact
 
 
 def test_fig2_profile_lookup(benchmark, explorer):

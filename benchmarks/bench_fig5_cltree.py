@@ -9,7 +9,7 @@ figure's correctness check.
 from repro.core.cltree import build_cltree, build_cltree_basic
 from repro.datasets import figure5_graph
 
-from conftest import write_artifact
+from bench_common import write_artifact
 
 EXPECTED_TREE = (
     "[k=0] {J}\n"

@@ -11,7 +11,7 @@ from repro.analysis.comparison import compare_methods
 from repro.analysis.metrics import cmf, cpj
 from repro.core.acq import acq_search
 
-from conftest import write_artifact
+from bench_common import write_artifact
 
 METHODS = ("global", "local", "codicil", "acq")
 

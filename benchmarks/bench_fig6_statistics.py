@@ -18,7 +18,7 @@ communities are far smaller and keyword-coherent.
 from repro.analysis.comparison import compare_methods
 from repro.analysis.statistics import format_table
 
-from conftest import write_artifact
+from bench_common import write_artifact
 
 METHODS = ("global", "local", "codicil", "acq")
 

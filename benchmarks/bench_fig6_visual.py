@@ -10,7 +10,7 @@ from repro.core.acq import acq_search
 from repro.viz.layout import ego_layout, spring_layout
 from repro.viz.render import render_svg
 
-from conftest import write_artifact
+from bench_common import write_artifact
 
 
 def test_fig6b_acq_view(benchmark, dblp, jim, dblp_index):

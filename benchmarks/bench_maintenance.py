@@ -11,7 +11,7 @@ import time
 from repro.core.kcore import core_decomposition
 from repro.core.maintenance import CoreMaintainer
 
-from conftest import dblp_sized, write_artifact
+from bench_common import dblp_sized, write_artifact
 
 
 def _churn_edges(graph, count):

@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.acq import acq_search
 
-from conftest import write_artifact
+from bench_common import write_artifact
 
 
 def _query_group(dblp, dblp_index, jim, count):

@@ -13,7 +13,7 @@ import pytest
 
 from repro.server.app import make_server
 
-from conftest import write_artifact
+from bench_common import write_artifact
 
 
 @pytest.fixture(scope="module")

@@ -10,7 +10,7 @@ from repro.algorithms.global_search import global_search
 from repro.algorithms.spatial import spatial_community_search
 from repro.datasets.spatial import euclidean, generate_spatial_graph
 
-from conftest import write_artifact
+from bench_common import write_artifact
 
 
 def _workload():

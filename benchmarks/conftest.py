@@ -6,26 +6,17 @@ experiment index in DESIGN.md).  Numbers are machine-dependent; the
 paper.  Each bench also writes a human-readable artefact into
 ``benchmarks/out/`` so the regenerated tables can be inspected after a
 run (they are the inputs to EXPERIMENTS.md).
-"""
 
-import os
+Only fixtures live here; helpers that benchmarks import by name
+(``write_artifact``, ``dblp_sized``) are in :mod:`bench_common`, so
+this conftest never collides with ``tests/conftest.py``.
+"""
 
 import pytest
 
 from repro.core.cltree import build_cltree
-from repro.datasets import DblpConfig, generate_dblp_graph
+from repro.datasets import generate_dblp_graph
 from repro.explorer.cexplorer import CExplorer
-
-OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
-
-
-def write_artifact(name, text):
-    """Persist a regenerated table/figure under benchmarks/out/."""
-    os.makedirs(OUT_DIR, exist_ok=True)
-    path = os.path.join(OUT_DIR, name)
-    with open(path, "w", encoding="utf-8") as f:
-        f.write(text if text.endswith("\n") else text + "\n")
-    return path
 
 
 @pytest.fixture(scope="session")
@@ -52,11 +43,3 @@ def explorer(dblp):
     ex.add_graph("dblp", dblp)
     ex.index()
     return ex
-
-
-def dblp_sized(n, seed=7):
-    """A generated graph with ~n authors (for scaling sweeps)."""
-    communities = max(4, n // 85)
-    return generate_dblp_graph(DblpConfig(n_authors=n,
-                                          n_communities=communities,
-                                          seed=seed))

@@ -26,6 +26,9 @@ Layering (see DESIGN.md):
 * :mod:`repro.viz` -- layouts and SVG/ASCII rendering;
 * :mod:`repro.datasets` -- the Figure 5 example, karate club, and the
   synthetic DBLP generator;
+* :mod:`repro.engine` -- the query execution engine: bounded worker
+  pool, result cache with selective invalidation, versioned index
+  lifecycle, query planning, and latency metrics;
 * :mod:`repro.explorer` / :mod:`repro.server` -- the CExplorer facade
   and the browser-server system around it.
 """
@@ -43,6 +46,7 @@ from repro.core import (
     k_truss,
     truss_decomposition,
 )
+from repro.engine import IndexManager, QueryEngine
 from repro.explorer import CExplorer
 from repro.graph import AttributedGraph, load_graph
 from repro.server import make_server
@@ -55,6 +59,8 @@ __all__ = [
     "CExplorer",
     "CLTree",
     "Community",
+    "IndexManager",
+    "QueryEngine",
     "acq_search",
     "build_cltree",
     "cmf",

@@ -33,8 +33,7 @@ def _load_explorer(args):
     explorer.upload(args.graph, name="cli")
     if getattr(args, "index", None):
         tree = load_cltree(args.index, explorer.graph)
-        explorer._graphs["cli"].index = tree
-        explorer._graphs["cli"].core = tree.core
+        explorer.indexes.install("cli", tree, core=tree.core)
     return explorer
 
 

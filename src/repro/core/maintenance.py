@@ -45,6 +45,28 @@ class CoreMaintainer:
         self.updates = 0
         self.promotions = 0
         self.demotions = 0
+        self._listeners = []
+
+    # ------------------------------------------------------------------
+    # invalidation hooks
+    # ------------------------------------------------------------------
+    def add_listener(self, callback):
+        """Subscribe to mutations: ``callback(event)`` runs after each
+        applied edge update with ``{"kind", "edge", "changed"}`` where
+        ``changed`` is the set of vertices whose core number moved.
+
+        The index manager uses this to bump index versions and evict
+        affected cache entries without polling.
+        """
+        self._listeners.append(callback)
+
+    def _notify(self, kind, u, v, changed):
+        if not self._listeners:
+            return
+        event = {"kind": kind, "edge": (u, v),
+                 "changed": frozenset(changed)}
+        for callback in list(self._listeners):
+            callback(event)
 
     # ------------------------------------------------------------------
     # queries
@@ -85,6 +107,7 @@ class CoreMaintainer:
         for w in promoted:
             core[w] = k + 1
             self.promotions += 1
+        self._notify("insert", u, v, promoted)
         return True
 
     def remove_edge(self, u, v):
@@ -101,6 +124,7 @@ class CoreMaintainer:
         core = self._core
         k = min(core[u], core[v])
         if k == 0:
+            self._notify("remove", u, v, ())
             return
         cd = {}
 
@@ -129,6 +153,7 @@ class CoreMaintainer:
                     if cd[x] < k:
                         dropped.add(x)
                         queue.append(x)
+        self._notify("remove", u, v, dropped)
 
     # ------------------------------------------------------------------
     # internals

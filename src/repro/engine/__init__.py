@@ -1,0 +1,94 @@
+"""``repro.engine`` -- the query execution engine.
+
+Why this layer exists
+=====================
+
+C-Explorer (Fang et al., PVLDB 2017) is an *interactive service*: many
+concurrent users issue ACQ / k-core / k-truss searches against shared
+graphs while uploads and edge edits mutate those graphs underneath.
+The seed reproduction ran every ``/api/search`` inline on its HTTP
+handler thread with no result reuse and ad-hoc lazy index builds --
+fine for one user, hopeless for the ROADMAP's "heavy traffic from
+millions of users".  This package is the execution layer between the
+server and the algorithms; every later scaling step (sharded graphs,
+an async server, a persistent cache) plugs into it.
+
+The modules
+===========
+
+``executor``
+    :class:`~repro.engine.executor.QueryEngine`: a bounded worker pool
+    with an admission-controlled request queue (full queue -> immediate
+    :class:`~repro.util.errors.EngineBusyError`, surfaced as HTTP 429),
+    per-query deadlines, best-effort cancellation, and a synchronous
+    ``execute`` path for library callers.
+
+``cache``
+    :class:`~repro.engine.cache.ResultCache`: an LRU over
+    ``(graph, algorithm, normalized query params)`` with
+    hit/miss/eviction/invalidation counters and footprint-based
+    *selective* invalidation, plus
+    :class:`~repro.engine.cache.SubproblemMemo` for intermediates
+    (core decompositions, CL-tree keyword lookups) shared across
+    overlapping queries.
+
+``index_manager``
+    :class:`~repro.engine.index_manager.IndexManager`: explicit
+    CL-tree/k-core lifecycle -- build on upload, eagerly, or in the
+    background; versioned immutable snapshots; invalidation hooks
+    wired into :class:`~repro.core.maintenance.CoreMaintainer` so
+    incremental edge updates bump the version and selectively evict
+    cached results.
+
+``plans``
+    :func:`~repro.engine.plans.plan_search`: picks the CS strategy
+    (CL-tree-backed ACQ vs. index-free local expansion) from graph
+    size, index readiness, and keyword constraints; powers the
+    ``"algorithm": "auto"`` API.
+
+``stats``
+    :class:`~repro.engine.stats.EngineStats`: latency histograms
+    (p50/p95) and throughput counters behind ``/api/metrics``.
+
+Quickstart
+==========
+
+::
+
+    from repro import CExplorer
+    from repro.datasets import generate_dblp_graph
+
+    explorer = CExplorer(workers=4)
+    explorer.add_graph("dblp", generate_dblp_graph())
+
+    future = explorer.engine.search("acq", "Jim Gray", k=4)
+    communities = future.result(timeout=5.0)
+
+    explorer.engine.snapshot()      # queue depth, hit rate, p50/p95
+
+Mutations route through a maintainer so caches stay honest::
+
+    maintainer = explorer.maintainer()      # wired CoreMaintainer
+    maintainer.insert_edge(u, v)            # bumps the index version,
+                                            # selectively evicts
+"""
+
+from repro.engine.cache import ResultCache, SubproblemMemo, query_key
+from repro.engine.executor import EngineFuture, QueryEngine
+from repro.engine.index_manager import IndexManager, IndexSnapshot
+from repro.engine.plans import QueryPlan, plan_search
+from repro.engine.stats import EngineStats, LatencyHistogram
+
+__all__ = [
+    "EngineFuture",
+    "EngineStats",
+    "IndexManager",
+    "IndexSnapshot",
+    "LatencyHistogram",
+    "QueryEngine",
+    "QueryPlan",
+    "ResultCache",
+    "SubproblemMemo",
+    "plan_search",
+    "query_key",
+]

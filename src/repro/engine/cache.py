@@ -1,0 +1,226 @@
+"""The engine's result cache and memoized subproblem store.
+
+Interactive exploration repeats itself: every ``display`` click
+re-runs its search, compare screens re-run each method, and many users
+probe the same hub authors.  FDB-style sharing of computation across
+overlapping queries (PAPERS.md) is the win this module captures:
+
+* :class:`ResultCache` -- an LRU over ``(graph, algorithm, normalized
+  query params)`` with hit/miss/eviction/invalidation counters and
+  *selective* invalidation: entries record the vertex footprint of
+  their result, so a maintenance update only evicts entries whose
+  footprint touches the affected region (for algorithm families where
+  that is sound; everything else is dropped conservatively).
+
+* :class:`SubproblemMemo` -- memoized shared subproblems (core
+  decompositions, CL-tree keyword candidate lists, k-core membership
+  sets) keyed by ``(graph, index version, kind, key)``, so overlapping
+  queries rebuild none of the expensive intermediates.
+
+Keys are produced by :func:`query_key`, which canonicalises parameter
+order (multi-vertex queries and keyword sets are order-insensitive).
+"""
+
+import threading
+from collections import OrderedDict
+
+# Algorithm families for which footprint-based selective invalidation
+# is sound.  Their communities are minimum-degree subgraphs: an edge
+# update can only change results whose vertex set touches the edge's
+# endpoints, the promoted/demoted vertices, or those vertices'
+# neighbourhoods (component merges/splits pass through a changed
+# vertex's neighbours).  Triangle-based families (k-truss, atc) cascade
+# support changes along triangle connectivity, which the core
+# maintainer does not track, so their entries are always dropped.
+SELECTIVE_SAFE_ALGORITHMS = frozenset(
+    {"acq", "acq-inc-s", "acq-inc-t", "global"})
+
+
+def _canonical(value):
+    """A hashable canonical form for one parameter value."""
+    if isinstance(value, dict):
+        return tuple(sorted((k, _canonical(v)) for k, v in value.items()))
+    if isinstance(value, (set, frozenset)):
+        return ("set",) + tuple(sorted(value))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    return value
+
+
+def query_key(graph_name, algorithm, q, k, keywords=None, params=None):
+    """Build the canonical cache key for one search.
+
+    Multi-vertex queries and keyword sets are order-insensitive; extra
+    ``params`` are normalised recursively (dicts by sorted key).
+    """
+    if isinstance(q, (list, tuple, set, frozenset)):
+        q = tuple(sorted(q))
+    kw = frozenset(keywords) if keywords is not None else None
+    extras = _canonical(params) if params else ()
+    return (graph_name, algorithm, q, k, kw, extras)
+
+
+class _Entry:
+    __slots__ = ("value", "vertices")
+
+    def __init__(self, value, vertices):
+        self.value = value
+        self.vertices = vertices
+
+
+class ResultCache:
+    """Thread-safe LRU result cache with selective invalidation.
+
+    ``put`` may record the result's vertex footprint (a set of vertex
+    ids); :meth:`invalidate` with an ``affected`` set then keeps
+    entries provably untouched by the update.  Entries stored without
+    a footprint are always dropped on invalidation.
+    """
+
+    key = staticmethod(query_key)
+
+    def __init__(self, capacity=512):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._data = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, key, record_miss=True):
+        """The cached value or ``None``; refreshes LRU recency.
+
+        ``record_miss=False`` keeps a speculative probe (the engine's
+        fast-path peek, which falls through to a real lookup) from
+        double-counting misses.
+        """
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                if record_miss:
+                    self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return entry.value
+
+    def put(self, key, value, vertices=None):
+        """Insert ``value``; ``vertices`` is the optional footprint
+        that enables selective invalidation for this entry."""
+        with self._lock:
+            self._data[key] = _Entry(value, vertices)
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, graph_name=None, affected=None):
+        """Evict entries made stale by an update to ``graph_name``.
+
+        ``graph_name=None`` clears everything.  With an ``affected``
+        vertex set, entries survive only when their algorithm family
+        supports selective invalidation *and* their recorded footprint
+        is disjoint from ``affected``.  Returns the eviction count.
+        """
+        with self._lock:
+            stale = []
+            for key, entry in self._data.items():
+                if graph_name is not None and key[0] != graph_name:
+                    continue
+                # An *empty* footprint (a cached "no community"
+                # answer) must not count as disjoint: the update may
+                # be exactly what makes the query answerable.
+                if (affected is not None
+                        and key[1] in SELECTIVE_SAFE_ALGORITHMS
+                        and entry.vertices
+                        and entry.vertices.isdisjoint(affected)):
+                    continue
+                stale.append(key)
+            for key in stale:
+                del self._data[key]
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._data)
+
+    def stats(self):
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._data),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": round(self.hits / total, 4) if total else 0.0,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
+
+
+class SubproblemMemo:
+    """LRU memo for expensive intermediates shared across queries.
+
+    Keys carry the owning graph and its index *version*, so a
+    maintenance update orphans old entries without any coordination;
+    :meth:`invalidate` reclaims the memory eagerly.
+    """
+
+    def __init__(self, capacity=128):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._data = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_compute(self, graph_name, version, kind, key, compute):
+        """Return the memoized value, computing (and storing) on miss.
+
+        ``compute`` runs outside the lock; concurrent first callers may
+        compute twice but the result is consistent (last write wins).
+        """
+        full_key = (graph_name, version, kind, _canonical(key))
+        with self._lock:
+            if full_key in self._data:
+                self._data.move_to_end(full_key)
+                self.hits += 1
+                return self._data[full_key]
+            self.misses += 1
+        value = compute()
+        with self._lock:
+            self._data[full_key] = value
+            self._data.move_to_end(full_key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+        return value
+
+    def invalidate(self, graph_name=None):
+        """Drop all entries (or one graph's, across all versions)."""
+        with self._lock:
+            if graph_name is None:
+                self._data.clear()
+                return
+            stale = [k for k in self._data if k[0] == graph_name]
+            for k in stale:
+                del self._data[k]
+
+    def __len__(self):
+        with self._lock:
+            return len(self._data)
+
+    def stats(self):
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._data),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": round(self.hits / total, 4) if total else 0.0,
+            }

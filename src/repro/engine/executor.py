@@ -1,0 +1,397 @@
+"""The :class:`QueryEngine`: a bounded worker pool with admission
+control, per-query deadlines, and an integrated result cache.
+
+The seed server ran every search inline on its HTTP handler thread:
+one slow whole-graph detection could stack unbounded threads behind
+the GIL, and nothing bounded the damage a traffic spike could do.
+This engine is the dedicated execution path between the server and the
+algorithms (the Polynesia argument in PAPERS.md):
+
+* a **bounded worker pool** (threads are started lazily on first use);
+* an **admission-controlled queue** -- when ``max_queue`` requests are
+  already waiting, new work is rejected *immediately* with
+  :class:`~repro.util.errors.EngineBusyError`, which the HTTP layer
+  maps to a fast 429 instead of letting latency collapse;
+* **per-query deadlines** -- a queued request past its deadline is
+  dropped without running; a caller waiting on a future gets
+  :class:`~repro.util.errors.QueryTimeoutError`;
+* **cancellation** -- best-effort: a request still in the queue is
+  dropped, a running one finishes but its result is discarded (Python
+  threads cannot be killed);
+* the engine-level :class:`~repro.engine.cache.ResultCache` and
+  :class:`~repro.engine.cache.SubproblemMemo`, wired to the
+  :class:`~repro.engine.index_manager.IndexManager` so maintenance
+  updates selectively evict stale entries;
+* :class:`~repro.engine.stats.EngineStats` latency histograms behind
+  ``/api/metrics``.
+
+Synchronous callers (library users, the batch harness) use
+:meth:`QueryEngine.execute`; the server uses :meth:`submit` /
+:meth:`search` and waits with a timeout.
+"""
+
+import queue
+import threading
+import time
+
+from repro.engine.cache import ResultCache, SubproblemMemo
+from repro.engine.index_manager import IndexManager
+from repro.engine.stats import EngineStats
+from repro.util.errors import (
+    EngineBusyError,
+    QueryCancelledError,
+    QueryTimeoutError,
+)
+
+_PENDING, _RUNNING, _DONE, _CANCELLED = range(4)
+
+
+class EngineFuture:
+    """A minimal future for engine jobs (stdlib-free by design: the
+    queue needs admission control ``concurrent.futures`` lacks)."""
+
+    __slots__ = ("_event", "_lock", "_state", "_value", "_exception")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._state = _PENDING
+        self._value = None
+        self._exception = None
+
+    @classmethod
+    def resolved(cls, value):
+        """An already-completed future (the cache-hit fast path)."""
+        future = cls()
+        future.set_result(value)
+        return future
+
+    # -- state transitions (engine side) --------------------------------
+    def set_running(self):
+        with self._lock:
+            if self._state != _PENDING:
+                return False
+            self._state = _RUNNING
+            return True
+
+    def set_result(self, value):
+        with self._lock:
+            if self._state == _CANCELLED:
+                return
+            self._value = value
+            self._state = _DONE
+        self._event.set()
+
+    def set_exception(self, exc):
+        with self._lock:
+            if self._state == _CANCELLED:
+                return
+            self._exception = exc
+            self._state = _DONE
+        self._event.set()
+
+    # -- caller side ----------------------------------------------------
+    def cancel(self):
+        """Cancel if not yet running; returns whether it worked."""
+        with self._lock:
+            if self._state != _PENDING:
+                return False
+            self._state = _CANCELLED
+        self._event.set()
+        return True
+
+    def cancelled(self):
+        return self._state == _CANCELLED
+
+    def done(self):
+        return self._state in (_DONE, _CANCELLED)
+
+    def result(self, timeout=None):
+        """Block for the value; raises the job's exception, or
+        :class:`QueryTimeoutError` when ``timeout`` elapses first."""
+        if not self._event.wait(timeout):
+            raise QueryTimeoutError(
+                "query did not finish within {:.3f}s".format(timeout))
+        if self._state == _CANCELLED:
+            raise QueryCancelledError("query was cancelled")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+
+class _Job:
+    __slots__ = ("fn", "args", "kwargs", "future", "op", "deadline",
+                 "submitted_at")
+
+    def __init__(self, fn, args, kwargs, op, deadline):
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.future = EngineFuture()
+        self.op = op
+        self.deadline = deadline
+        self.submitted_at = time.perf_counter()
+
+
+_SHUTDOWN = object()
+
+
+class QueryEngine:
+    """Bounded-concurrency execution front-end for a CExplorer.
+
+    ``explorer`` may be ``None`` for a bare worker pool (the batch
+    harness hands it plain callables); with an explorer attached,
+    :meth:`search` adds planning, result caching, and index reuse.
+    """
+
+    def __init__(self, explorer=None, workers=2, max_queue=64,
+                 default_timeout=None, cache_size=512,
+                 index_manager=None, memo_size=128):
+        if workers < 1:
+            raise ValueError("workers must be positive")
+        if max_queue < 1:
+            raise ValueError("max_queue must be positive")
+        self.explorer = explorer
+        self.workers = workers
+        self.max_queue = max_queue
+        self.default_timeout = default_timeout
+        self.indexes = index_manager if index_manager is not None \
+            else IndexManager()
+        self.cache = ResultCache(cache_size)
+        self.memo = SubproblemMemo(memo_size)
+        self.stats = EngineStats()
+        self._queue = queue.Queue(max_queue)
+        self._threads = []
+        self._in_flight = 0
+        self._lifecycle = threading.Lock()
+        self._shutdown = False
+        self.indexes.subscribe(self._on_index_event)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def configure(self, workers=None, max_queue=None,
+                  default_timeout=None):
+        """Adjust pool sizing before the first submission."""
+        with self._lifecycle:
+            if self._threads:
+                raise RuntimeError(
+                    "cannot reconfigure a started engine")
+            if workers is not None:
+                if workers < 1:
+                    raise ValueError("workers must be positive")
+                self.workers = workers
+            if max_queue is not None:
+                if max_queue < 1:
+                    raise ValueError("max_queue must be positive")
+                self.max_queue = max_queue
+                self._queue = queue.Queue(max_queue)
+            if default_timeout is not None:
+                self.default_timeout = default_timeout
+        return self
+
+    def _ensure_started(self):
+        if self._threads:
+            return
+        with self._lifecycle:
+            if self._threads or self._shutdown:
+                return
+            for i in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker,
+                    name="query-engine-{}".format(i), daemon=True)
+                thread.start()
+                self._threads.append(thread)
+
+    def shutdown(self, wait=True):
+        """Stop accepting work and (optionally) join the workers."""
+        with self._lifecycle:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            threads = list(self._threads)
+        for _ in threads:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for thread in threads:
+                thread.join()
+
+    # ------------------------------------------------------------------
+    # generic submission
+    # ------------------------------------------------------------------
+    def submit(self, fn, *args, **kwargs):
+        """Queue ``fn(*args, **kwargs)``; returns an
+        :class:`EngineFuture`.
+
+        Keyword-only extras: ``op`` labels the latency histogram,
+        ``timeout`` sets the deadline (falls back to
+        ``default_timeout``).  Raises :class:`EngineBusyError` at once
+        when the queue is full.
+        """
+        op = kwargs.pop("op", "job")
+        timeout = kwargs.pop("timeout", self.default_timeout)
+        if self._shutdown:
+            raise EngineBusyError("engine is shut down")
+        self._ensure_started()
+        deadline = (time.perf_counter() + timeout
+                    if timeout is not None else None)
+        job = _Job(fn, args, kwargs, op, deadline)
+        self.stats.count("submitted")
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            self.stats.count("rejected")
+            raise EngineBusyError(
+                "engine queue full ({} waiting); retry later"
+                .format(self.max_queue)) from None
+        return job.future
+
+    def execute(self, fn, *args, **kwargs):
+        """Synchronous :meth:`submit`: block for the result, honouring
+        the same deadline while waiting."""
+        timeout = kwargs.get("timeout", self.default_timeout)
+        future = self.submit(fn, *args, **kwargs)
+        try:
+            return future.result(timeout)
+        except QueryTimeoutError:
+            future.cancel()
+            self.stats.count("timeouts")
+            raise
+
+    def run_batch(self, calls, op="batch", timeout=None):
+        """Submit many ``(fn, args, kwargs)`` triples and gather.
+
+        Returns results in submission order; a call that raised yields
+        its exception object instead (the batch harness decides how to
+        aggregate failures).  Jobs the queue rejects are executed
+        inline -- the batch caller wants throughput, not load shedding.
+        """
+        futures = []
+        for fn, args, kwargs in calls:
+            try:
+                futures.append(self.submit(fn, *args, op=op,
+                                           timeout=timeout, **kwargs))
+            except EngineBusyError:
+                try:
+                    futures.append(EngineFuture.resolved(
+                        fn(*args, **kwargs)))
+                except Exception as exc:
+                    failed = EngineFuture()
+                    failed.set_exception(exc)
+                    futures.append(failed)
+        results = []
+        for future in futures:
+            try:
+                results.append(future.result(timeout))
+            except Exception as exc:
+                results.append(exc)
+        return results
+
+    # ------------------------------------------------------------------
+    # the search path
+    # ------------------------------------------------------------------
+    def search(self, algorithm, vertex, k=4, keywords=None,
+               timeout=None, **params):
+        """Plan + cache + submit one community search.
+
+        Cache hits resolve immediately without touching the queue, so
+        a warm interactive workload is never throttled by admission
+        control.  Requires an attached explorer.
+        """
+        explorer = self._require_explorer()
+        cached = explorer.peek_cached(algorithm, vertex, k=k,
+                                      keywords=keywords, **params)
+        if cached is not None:
+            return EngineFuture.resolved(cached)
+        return self.submit(explorer.search, algorithm, vertex, k=k,
+                           keywords=keywords, op="search",
+                           timeout=timeout, **params)
+
+    def search_sync(self, algorithm, vertex, k=4, keywords=None,
+                    timeout=None, **params):
+        """Blocking :meth:`search` with deadline enforcement."""
+        timeout = timeout if timeout is not None else self.default_timeout
+        future = self.search(algorithm, vertex, k=k, keywords=keywords,
+                             timeout=timeout, **params)
+        try:
+            return future.result(timeout)
+        except QueryTimeoutError:
+            future.cancel()
+            self.stats.count("timeouts")
+            raise
+
+    def _require_explorer(self):
+        if self.explorer is None:
+            raise RuntimeError(
+                "this QueryEngine has no attached explorer; "
+                "use submit()/execute() with explicit callables")
+        return self.explorer
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _on_index_event(self, name, version, affected):
+        """Index version bump: evict stale results and memo entries."""
+        self.cache.invalidate(name, affected=affected)
+        self.memo.invalidate(name)
+
+    def _worker(self):
+        while True:
+            job = self._queue.get()
+            if job is _SHUTDOWN:
+                return
+            future = job.future
+            if future.cancelled():
+                self.stats.count("cancelled")
+                continue
+            if (job.deadline is not None
+                    and time.perf_counter() > job.deadline):
+                self.stats.count("timeouts")
+                future.set_exception(QueryTimeoutError(
+                    "query spent its deadline waiting in the queue"))
+                continue
+            if not future.set_running():
+                self.stats.count("cancelled")
+                continue
+            with self._lifecycle:
+                self._in_flight += 1
+            start = time.perf_counter()
+            try:
+                result = job.fn(*job.args, **job.kwargs)
+            except BaseException as exc:
+                self.stats.count("errors")
+                future.set_exception(exc)
+            else:
+                self.stats.count("completed")
+                future.set_result(result)
+            finally:
+                elapsed = time.perf_counter() - start
+                self.stats.observe(job.op, elapsed)
+                with self._lifecycle:
+                    self._in_flight -= 1
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self):
+        return self._queue.qsize()
+
+    def snapshot(self):
+        """Everything ``/api/metrics`` reports about the engine."""
+        doc = self.stats.snapshot()
+        doc.update({
+            "workers": self.workers,
+            "started": bool(self._threads),
+            "queue_depth": self.queue_depth,
+            "max_queue": self.max_queue,
+            "in_flight": self._in_flight,
+            "cache": self.cache.stats(),
+            "memo": self.memo.stats(),
+        })
+        if self.explorer is not None:
+            doc["indexes"] = {
+                name: self.indexes.stats(name)
+                for name in self.indexes.names()
+            }
+        return doc

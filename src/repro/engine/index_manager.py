@@ -1,0 +1,333 @@
+"""Explicit index lifecycle: versioned CL-tree/k-core snapshots.
+
+The seed system built indexes lazily and ad hoc: whichever request
+first touched a graph paid the CL-tree build on its own thread, and
+nothing noticed when maintenance mutated the graph underneath.  The
+:class:`IndexManager` makes the lifecycle explicit, the way Polynesia
+(PAPERS.md) separates index maintenance from the query path:
+
+* **register** a graph with a build policy -- ``lazy`` (first query
+  pays), ``eager`` (build-on-upload, synchronously), or
+  ``background`` (a builder thread runs while queries fall back to
+  index-free execution);
+* **snapshot** returns an immutable :class:`IndexSnapshot` (core
+  numbers + CL-tree) at a specific *version*;
+* **invalidate** bumps the version, marks the snapshot stale, and
+  notifies subscribers (the engine's result cache selectively evicts);
+* **attach_maintainer** wires a
+  :class:`~repro.core.maintenance.CoreMaintainer` so that every
+  incremental edge update bumps the version automatically, hands the
+  patched core numbers to the next rebuild for free, and reports the
+  affected region (changed vertices + their neighbourhoods) for
+  selective cache eviction.
+
+Versions are per-graph monotonic integers; anything keyed by
+``(graph, version)`` is immune to stale reads by construction.
+"""
+
+import threading
+import time
+
+from repro.core.cltree import build_cltree
+from repro.core.kcore import core_decomposition
+from repro.core.maintenance import CoreMaintainer
+from repro.util.errors import CExplorerError
+
+
+class IndexSnapshot:
+    """One immutable build of a graph's derived index structures."""
+
+    __slots__ = ("name", "version", "core", "cltree", "built_at",
+                 "build_seconds")
+
+    def __init__(self, name, version, core, cltree, build_seconds):
+        self.name = name
+        self.version = version
+        self.core = core
+        self.cltree = cltree
+        self.built_at = time.time()
+        self.build_seconds = build_seconds
+
+
+class _IndexEntry:
+    __slots__ = ("name", "graph", "version", "snapshot", "core",
+                 "maintainer", "builder", "build_count")
+
+    def __init__(self, name, graph):
+        self.name = name
+        self.graph = graph
+        self.version = 1
+        self.snapshot = None
+        self.core = None            # core numbers, possibly sans cltree
+        self.maintainer = None
+        self.builder = None         # in-flight background build thread
+        self.build_count = 0
+
+
+class IndexManager:
+    """Versioned, invalidation-aware index store for many graphs."""
+
+    BUILD_MODES = ("lazy", "eager", "background")
+
+    def __init__(self):
+        self._entries = {}
+        self._lock = threading.RLock()
+        self._subscribers = []
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, name, graph, build="lazy"):
+        """Register (or replace) ``name``; returns the new version.
+
+        Replacing a graph bumps the version and notifies subscribers,
+        so every cache keyed on this graph is invalidated.
+        """
+        if build not in self.BUILD_MODES:
+            raise CExplorerError(
+                "unknown build mode {!r}; choose from {}".format(
+                    build, self.BUILD_MODES))
+        with self._lock:
+            old = self._entries.get(name)
+            entry = _IndexEntry(name, graph)
+            if old is not None:
+                entry.version = old.version + 1
+            self._entries[name] = entry
+            version = entry.version
+        self._notify(name, version, None)
+        if build == "eager":
+            self.snapshot(name)
+        elif build == "background":
+            self.build_async(name)
+        return version
+
+    def unregister(self, name):
+        with self._lock:
+            self._entries.pop(name, None)
+        self._notify(name, None, None)
+
+    def names(self):
+        with self._lock:
+            return sorted(self._entries)
+
+    def _entry(self, name):
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise CExplorerError(
+                "no graph named {!r} registered".format(name)) from None
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def version(self, name):
+        with self._lock:
+            return self._entry(name).version
+
+    def built(self, name):
+        """Whether a current-version snapshot exists right now."""
+        with self._lock:
+            entry = self._entry(name)
+            return (entry.snapshot is not None
+                    and entry.snapshot.version == entry.version)
+
+    def core(self, name):
+        """Current core numbers (cheap path: no CL-tree build).
+
+        With a maintainer attached this is the incrementally patched
+        array; otherwise it is computed once per version and cached.
+        The decomposition itself runs outside the manager lock so
+        version/built probes (every request's cache fast path) never
+        stall behind a cold build.
+        """
+        with self._lock:
+            entry = self._entry(name)
+            if entry.core is not None:
+                return entry.core
+            maintainer = entry.maintainer
+            graph = entry.graph
+            version = entry.version
+        if maintainer is not None:
+            core = maintainer.core_numbers()
+        else:
+            core = core_decomposition(graph)
+        with self._lock:
+            fresh = self._entries.get(name)
+            if fresh is entry and entry.version == version:
+                if entry.core is None:
+                    entry.core = core
+                return entry.core
+        return core
+
+    def snapshot(self, name, rebuild=False):
+        """The current :class:`IndexSnapshot`, building when needed.
+
+        ``rebuild=True`` forces a fresh build at the same version (the
+        explorer's ``index(rebuild=True)``).  Lazy builds are
+        deduplicated: concurrent first queries share one builder
+        thread instead of each constructing the same CL-tree.
+        """
+        with self._lock:
+            entry = self._entry(name)
+            snap = entry.snapshot
+            if (snap is not None and snap.version == entry.version
+                    and not rebuild):
+                return snap
+        if rebuild:
+            return self._build(name)
+        self.build_async(name).join()
+        with self._lock:
+            fresh = self._entries.get(name)
+            if fresh is not None:
+                snap = fresh.snapshot
+                if snap is not None and snap.version == fresh.version:
+                    return snap
+        # The build raced a version bump; build at the new version.
+        return self._build(name)
+
+    def cltree(self, name, rebuild=False):
+        return self.snapshot(name, rebuild=rebuild).cltree
+
+    def stats(self, name):
+        """Lifecycle stats for the metrics endpoint."""
+        with self._lock:
+            entry = self._entry(name)
+            snap = entry.snapshot
+            current = snap is not None and snap.version == entry.version
+            return {
+                "version": entry.version,
+                "built": current,
+                "building": entry.builder is not None,
+                "builds": entry.build_count,
+                "build_seconds": round(snap.build_seconds, 6)
+                if snap else None,
+                "maintained": entry.maintainer is not None,
+            }
+
+    # ------------------------------------------------------------------
+    # builds
+    # ------------------------------------------------------------------
+    def _build(self, name):
+        with self._lock:
+            entry = self._entry(name)
+            graph = entry.graph
+            version = entry.version
+        start = time.perf_counter()
+        core = self.core(name)
+        cltree = build_cltree(graph, core=core)
+        build_seconds = time.perf_counter() - start
+        # Compatibility: callers historically read build time off the
+        # tree itself.
+        cltree.build_seconds = build_seconds
+        snap = IndexSnapshot(name, version, core, cltree, build_seconds)
+        with self._lock:
+            entry = self._entries.get(name)
+            # Only publish when nothing newer happened while building.
+            if entry is not None and entry.version == version:
+                entry.snapshot = snap
+                entry.build_count += 1
+        return snap
+
+    def install(self, name, cltree, core=None, build_seconds=0.0):
+        """Install a prebuilt CL-tree (e.g. loaded from disk) as the
+        current snapshot, skipping the build."""
+        with self._lock:
+            entry = self._entry(name)
+            if core is None:
+                core = getattr(cltree, "core", None) \
+                    or core_decomposition(entry.graph)
+            snap = IndexSnapshot(name, entry.version, core, cltree,
+                                 build_seconds)
+            entry.snapshot = snap
+            entry.core = core
+            return snap
+
+    def build_async(self, name):
+        """Kick off (or join onto) a background build; returns the
+        builder thread."""
+        with self._lock:
+            entry = self._entry(name)
+            if entry.builder is not None:
+                return entry.builder
+
+            def run():
+                try:
+                    self._build(name)
+                finally:
+                    with self._lock:
+                        fresh = self._entries.get(name)
+                        if fresh is entry:
+                            fresh.builder = None
+
+            thread = threading.Thread(
+                target=run, name="cltree-build-{}".format(name),
+                daemon=True)
+            entry.builder = thread
+        thread.start()
+        return thread
+
+    def wait(self, name, timeout=None):
+        """Block until any in-flight background build finishes."""
+        with self._lock:
+            builder = self._entry(name).builder
+        if builder is not None:
+            builder.join(timeout)
+
+    # ------------------------------------------------------------------
+    # invalidation
+    # ------------------------------------------------------------------
+    def invalidate(self, name, affected=None, core=None):
+        """Bump ``name``'s version after a mutation.
+
+        ``affected`` is the vertex region the mutation could have
+        touched (forwarded to subscribers for selective eviction);
+        ``core`` optionally carries already-patched core numbers so the
+        next snapshot build skips the decomposition.
+        """
+        with self._lock:
+            entry = self._entry(name)
+            entry.version += 1
+            entry.core = core
+            version = entry.version
+        self._notify(name, version, affected)
+        return version
+
+    def attach_maintainer(self, name, maintainer=None):
+        """Route ``name``'s mutations through a
+        :class:`CoreMaintainer` wired into version bumps.
+
+        Every edge insert/delete bumps the version, reuses the
+        maintainer's patched core numbers, and reports the affected
+        region: the edge's endpoints, every promoted/demoted vertex,
+        and the changed vertices' neighbourhoods (a component merge or
+        split must pass through one of those).
+        """
+        with self._lock:
+            entry = self._entry(name)
+            if entry.maintainer is not None and maintainer is None:
+                return entry.maintainer
+            if maintainer is None:
+                maintainer = CoreMaintainer(entry.graph)
+            entry.maintainer = maintainer
+            entry.core = maintainer.core_numbers()
+
+        def on_update(event):
+            graph = maintainer.graph
+            affected = set(event["edge"])
+            for w in event["changed"]:
+                affected.add(w)
+                affected.update(graph.neighbors(w))
+            self.invalidate(name, affected=affected,
+                            core=maintainer.core_numbers())
+
+        maintainer.add_listener(on_update)
+        return maintainer
+
+    def subscribe(self, callback):
+        """``callback(name, version, affected)`` runs after every
+        version bump (``version=None`` means unregistered)."""
+        self._subscribers.append(callback)
+
+    def _notify(self, name, version, affected):
+        for callback in list(self._subscribers):
+            callback(name, version, affected)

@@ -1,0 +1,94 @@
+"""Query planning: pick the CS execution strategy from graph/index
+state.
+
+The ACQ paper ships several algorithms for the same query (Dec over
+the CL-tree, incremental variants, index-free local expansion), and
+the right one depends on state the *user* should not have to know:
+whether the CL-tree for this graph is built yet, how big the graph is,
+whether the query constrains keywords at all.  This module is the
+small planner that makes that call, so the server can accept
+``"algorithm": "auto"`` and so explicit ACQ queries degrade gracefully
+to index-free execution while a background build is still running.
+
+A plan is data, not behaviour: the engine executes it, the metrics
+endpoint can explain it.
+"""
+
+# Below this size every strategy is interactive; prefer the exact one.
+SMALL_GRAPH_VERTICES = 2_000
+
+ACQ_FAMILY = ("acq", "acq-inc-s", "acq-inc-t")
+
+
+class QueryPlan:
+    """One planned execution: concrete algorithm + index decision."""
+
+    __slots__ = ("algorithm", "use_index", "reason")
+
+    def __init__(self, algorithm, use_index, reason):
+        self.algorithm = algorithm
+        self.use_index = use_index
+        self.reason = reason
+
+    def explain(self):
+        return {
+            "algorithm": self.algorithm,
+            "use_index": self.use_index,
+            "reason": self.reason,
+        }
+
+    def __repr__(self):
+        return "QueryPlan({!r}, use_index={}, reason={!r})".format(
+            self.algorithm, self.use_index, self.reason)
+
+
+def plan_search(algorithm, graph, index_ready=False, keywords=None):
+    """Choose the concrete algorithm and whether to use the CL-tree.
+
+    ``algorithm`` may be a registered CS name (passed through, with
+    the index decision made here for the ACQ family) or ``"auto"``.
+
+    Auto rules, in order:
+
+    * keyword-constrained queries always run ACQ -- only the attributed
+      algorithms honour ``S``;
+    * small graphs (< ``SMALL_GRAPH_VERTICES``) run ACQ too: the index
+      build is cheap enough to do on the query path;
+    * large graphs with a ready index run ACQ over the CL-tree;
+    * large graphs without one fall back to index-free local search
+      and let a background build upgrade later queries.
+
+    Explicit ACQ-family requests always use the managed index (one
+    amortised build); with ``index=None`` the implementations would
+    build a throwaway CL-tree per query.
+    """
+    algorithm = algorithm.lower()   # the registry is case-insensitive
+    n = graph.vertex_count
+    if algorithm == "auto":
+        if keywords:
+            return QueryPlan(
+                "acq", True,
+                "keyword-constrained query needs the attributed engine")
+        if index_ready:
+            return QueryPlan(
+                "acq", True, "CL-tree ready; exact attributed search")
+        if n < SMALL_GRAPH_VERTICES:
+            return QueryPlan(
+                "acq", True,
+                "small graph ({} vertices): index build is cheap"
+                .format(n))
+        return QueryPlan(
+            "local", False,
+            "large unindexed graph ({} vertices): local expansion "
+            "avoids a blocking index build".format(n))
+    if algorithm in ACQ_FAMILY:
+        # Always route the family through the managed index: with
+        # index=None the ACQ implementations build a throwaway CL-tree
+        # *per query*, so one amortised managed build is strictly
+        # better even when it blocks the first query.
+        return QueryPlan(algorithm, True,
+                         "index ready" if index_ready
+                         else "one managed index build, amortised "
+                              "across queries")
+    return QueryPlan(algorithm, False,
+                     "algorithm does not consult the CL-tree")

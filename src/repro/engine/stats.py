@@ -1,0 +1,125 @@
+"""Engine observability: latency histograms and throughput counters.
+
+The paper pitches C-Explorer as an *online* system ("the communities
+will be returned instantly"); once queries run through a shared worker
+pool, "instantly" has to be measured, not assumed.  This module is the
+measurement substrate the engine reports through ``/api/metrics``:
+
+* :class:`LatencyHistogram` -- per-operation latency distribution with
+  log-scale buckets (for the shape) and a bounded reservoir of recent
+  samples (for accurate p50/p95 over the live window);
+* :class:`EngineStats` -- named counters plus one histogram per
+  operation kind (``search``, ``detect``, ``compare``, ``batch``),
+  thread-safe, snapshotted as one JSON-friendly dict.
+
+Counters are monotonic; histograms age out naturally as the reservoir
+rolls, so percentiles describe recent traffic rather than boot-time
+behaviour.
+"""
+
+import threading
+import time
+
+# Bucket upper bounds in seconds; the last bucket is open-ended.  A
+# decade-per-3-buckets geometric ladder from 100us to 100s covers both
+# cache hits and the slowest whole-graph detections.
+BUCKET_EDGES = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+)
+
+
+class LatencyHistogram:
+    """Latency distribution for one operation kind.
+
+    Not thread-safe on its own; :class:`EngineStats` provides the lock.
+    """
+
+    __slots__ = ("count", "total", "max", "buckets", "_reservoir",
+                 "_reservoir_size", "_next")
+
+    def __init__(self, reservoir_size=512):
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+        self.buckets = [0] * (len(BUCKET_EDGES) + 1)
+        self._reservoir = []
+        self._reservoir_size = reservoir_size
+        self._next = 0
+
+    def record(self, seconds):
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        for i, edge in enumerate(BUCKET_EDGES):
+            if seconds <= edge:
+                self.buckets[i] += 1
+                break
+        else:
+            self.buckets[-1] += 1
+        # Ring-buffer reservoir: percentiles reflect the last N samples.
+        if len(self._reservoir) < self._reservoir_size:
+            self._reservoir.append(seconds)
+        else:
+            self._reservoir[self._next] = seconds
+            self._next = (self._next + 1) % self._reservoir_size
+
+    def percentile(self, p):
+        """The ``p``-th percentile (0..100) over the sample window."""
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        rank = max(0, min(len(ordered) - 1,
+                          int(round(p / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def snapshot(self):
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_ms": round(mean * 1000, 3),
+            "p50_ms": round(self.percentile(50) * 1000, 3),
+            "p95_ms": round(self.percentile(95) * 1000, 3),
+            "max_ms": round(self.max * 1000, 3),
+        }
+
+
+class EngineStats:
+    """Thread-safe counters + per-operation latency histograms."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters = {}
+        self._histograms = {}
+        self.started_at = time.time()
+
+    def count(self, name, n=1):
+        """Bump counter ``name`` by ``n``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def get(self, name):
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def observe(self, op, seconds):
+        """Record one ``op`` execution that took ``seconds``."""
+        with self._lock:
+            hist = self._histograms.get(op)
+            if hist is None:
+                hist = self._histograms[op] = LatencyHistogram()
+            hist.record(seconds)
+
+    def snapshot(self):
+        """One JSON-friendly dict: counters, latency, throughput."""
+        with self._lock:
+            elapsed = max(time.time() - self.started_at, 1e-9)
+            completed = sum(h.count for h in self._histograms.values())
+            return {
+                "uptime_seconds": round(elapsed, 3),
+                "throughput_per_second": round(completed / elapsed, 4),
+                "counters": dict(self._counters),
+                "latency": {op: hist.snapshot()
+                            for op, hist in self._histograms.items()},
+            }

@@ -13,12 +13,17 @@ The Java interface the paper publishes is::
 This class is its Python equivalent, extended with the surrounding
 system behaviour the paper describes: graph management (several named
 graphs can be uploaded, Figure 3 shows Facebook and DBLP side by
-side), lazy CL-tree indexing per graph (the Indexing module), the
-profile store, and keyword/degree suggestions for the left panel of
-the UI.
-"""
+side), versioned CL-tree indexing per graph through the engine's
+:class:`~repro.engine.index_manager.IndexManager`, the profile store,
+and keyword/degree suggestions for the left panel of the UI.
 
-import time
+Execution runs through :mod:`repro.engine`: searches are planned
+(:mod:`repro.engine.plans`), cached in the engine's
+:class:`~repro.engine.cache.ResultCache` (with selective invalidation
+when maintenance mutates a graph), and the facade's
+:attr:`CExplorer.engine` exposes the bounded worker pool the server
+submits concurrent queries through.
+"""
 
 from repro.algorithms.registry import (
     get_cd_algorithm,
@@ -30,11 +35,11 @@ from repro.analysis.comparison import compare_methods
 from repro.analysis.graph_stats import graph_summary
 from repro.analysis.metrics import cmf, community_conductance, \
     community_density, cpj
-from repro.core.cltree import build_cltree
-from repro.core.kcore import core_decomposition
+from repro.engine.executor import QueryEngine
+from repro.engine.index_manager import IndexManager
+from repro.engine.plans import plan_search
 from repro.explorer.autocomplete import NameIndex
 from repro.explorer.profiles import ProfileStore
-from repro.explorer.sessions import QueryCache
 from repro.graph.io import load_graph
 from repro.graph.validation import validate_graph
 from repro.util.errors import CExplorerError, QueryError
@@ -43,15 +48,18 @@ from repro.viz.render import render_ascii, render_svg
 
 
 class _GraphEntry:
-    """A registered graph plus its lazily built derived structures."""
+    """A registered graph plus its lazily built derived structures.
 
-    __slots__ = ("name", "graph", "index", "core", "names", "summary")
+    Index structures (core numbers, the CL-tree) live in the engine's
+    :class:`~repro.engine.index_manager.IndexManager`; only the purely
+    presentational lazies stay here.
+    """
+
+    __slots__ = ("name", "graph", "names", "summary")
 
     def __init__(self, name, graph):
         self.name = name
         self.graph = graph
-        self.index = None
-        self.core = None
         self.names = None
         self.summary = None
 
@@ -66,11 +74,19 @@ class CExplorer:
     >>> communities = explorer.search("acq", "Jim Gray", k=4)
     """
 
-    def __init__(self, profiles=None, cache_size=256):
+    def __init__(self, profiles=None, cache_size=256, workers=2,
+                 max_queue=64):
         self._graphs = {}
         self._current = None
         self.profiles = profiles if profiles is not None else ProfileStore()
-        self.cache = QueryCache(cache_size)
+        self.indexes = IndexManager()
+        self.engine = QueryEngine(explorer=self, workers=workers,
+                                  max_queue=max_queue,
+                                  cache_size=cache_size,
+                                  index_manager=self.indexes)
+        # The engine owns the result cache; exposed here because the
+        # facade has always published ``explorer.cache``.
+        self.cache = self.engine.cache
 
     # ------------------------------------------------------------------
     # graph management ("upload" in the paper API)
@@ -87,14 +103,19 @@ class CExplorer:
             name = str(file_path).rsplit("/", 1)[-1].rsplit(".", 1)[0]
         return self.add_graph(name, graph)
 
-    def add_graph(self, name, graph, select=True):
+    def add_graph(self, name, graph, select=True, build="lazy"):
         """Register an in-memory graph under ``name``.
 
-        Re-registering a name replaces the graph and invalidates every
-        cached result for it.
+        Re-registering a name replaces the graph, bumps its index
+        version, and invalidates every cached result for it.  ``build``
+        picks the index policy: ``"lazy"`` (first query pays),
+        ``"eager"`` (build-on-upload), or ``"background"`` (a builder
+        thread runs while queries fall back to index-free plans).
         """
         self._graphs[name] = _GraphEntry(name, graph)
-        self.cache.invalidate(name)
+        # Registration notifies the engine, which evicts the graph's
+        # cached results and memoized subproblems.
+        self.indexes.register(name, graph, build=build)
         if select or self._current is None:
             self._current = name
         return name
@@ -119,21 +140,49 @@ class CExplorer:
     # indexing module
     # ------------------------------------------------------------------
     def index(self, rebuild=False):
-        """The CL-tree of the active graph, built on first use."""
-        entry = self._graphs[self._require_current()]
-        if entry.index is None or rebuild:
-            start = time.perf_counter()
-            entry.core = core_decomposition(entry.graph)
-            entry.index = build_cltree(entry.graph, core=entry.core)
-            entry.index.build_seconds = time.perf_counter() - start
-        return entry.index
+        """The CL-tree of the active graph, built on first use.
+
+        Delegates to the engine's versioned
+        :class:`~repro.engine.index_manager.IndexManager`; maintenance
+        updates mark the snapshot stale so the next call rebuilds.
+        """
+        return self.indexes.snapshot(self._require_current(),
+                                     rebuild=rebuild).cltree
 
     def core_numbers(self):
-        """Core decomposition of the active graph (cached)."""
-        entry = self._graphs[self._require_current()]
-        if entry.core is None:
-            entry.core = core_decomposition(entry.graph)
-        return entry.core
+        """Core decomposition of the active graph (cached, and kept
+        current by an attached maintainer)."""
+        return self.indexes.core(self._require_current())
+
+    def maintainer(self, name=None):
+        """A :class:`~repro.core.maintenance.CoreMaintainer` for a
+        graph, wired into index versioning: every edge update through
+        it bumps the index version and selectively evicts cached
+        results (the mutation gateway for online graphs)."""
+        if name is None:
+            name = self._require_current()
+        if name not in self._graphs:
+            raise CExplorerError("no graph named {!r} uploaded"
+                                 .format(name))
+        return self.indexes.attach_maintainer(name)
+
+    def keyword_candidates(self, vertex, k, keyword):
+        """Vertices carrying ``keyword`` in the query vertex's k-core
+        component -- the CL-tree inverted-index lookup, memoized in the
+        engine so overlapping queries share it."""
+        name = self._require_current()
+        q = self.resolve_vertex(vertex)
+        version = self.indexes.version(name)
+
+        def compute():
+            tree = self.index()
+            root = tree.component_root(q, k)
+            if root is None:
+                return ()
+            return tuple(tree.vertices_with_keyword(root, keyword))
+
+        return self.engine.memo.get_or_compute(
+            name, version, "cltree-keyword", (q, k, keyword), compute)
 
     def name_index(self):
         """Prefix index over the active graph's names (lazy)."""
@@ -192,35 +241,66 @@ class CExplorer:
     # ------------------------------------------------------------------
     # search / detect (the paper API)
     # ------------------------------------------------------------------
+    def _resolve_query(self, vertex):
+        """Resolve one vertex or a multi-vertex query list."""
+        if isinstance(vertex, (list, tuple, set)):
+            q = [self.resolve_vertex(v) for v in vertex]
+            return q[0] if len(q) == 1 else q
+        return self.resolve_vertex(vertex)
+
+    def peek_cached(self, algorithm, vertex, k=4, keywords=None,
+                    **params):
+        """The cached result for this query, or ``None`` -- without
+        running anything.  The engine's fast path: cache hits bypass
+        the worker queue (and its admission control) entirely.
+        """
+        if params or self._current is None:
+            return None
+        try:
+            q = self._resolve_query(vertex)
+        except CExplorerError:
+            return None
+        name = self._current
+        plan = plan_search(algorithm, self.graph,
+                           index_ready=self.indexes.built(name),
+                           keywords=keywords)
+        key = self.cache.key(name, plan.algorithm, q, k, keywords)
+        return self.cache.get(key, record_miss=False)
+
     def search(self, algorithm, vertex, k=4, keywords=None,
                use_cache=True, **params):
         """Run a CS algorithm: ``search(CSAlgorithm algo, Query query)``.
 
         ``vertex`` may be an id, a label, or a list of either (the
-        multi-vertex "+" button).  ACQ variants automatically receive
-        the cached CL-tree index.  Results are cached per
-        (graph, algorithm, q, k, S) unless extra ``params`` are given
-        or ``use_cache=False``.
+        multi-vertex "+" button).  ``algorithm`` may be ``"auto"``:
+        the planner picks the strategy from graph size, keyword
+        constraints, and index readiness.  ACQ variants receive the
+        versioned CL-tree when the plan calls for it.  Results are
+        cached per (graph, algorithm, q, k, S) with their vertex
+        footprint recorded, so maintenance updates evict exactly the
+        entries they could have changed -- unless extra ``params`` are
+        given or ``use_cache=False``.
         """
         graph = self.graph
-        if isinstance(vertex, (list, tuple, set)):
-            q = [self.resolve_vertex(v) for v in vertex]
-            q = q[0] if len(q) == 1 else q
-        else:
-            q = self.resolve_vertex(vertex)
-        algo = get_cs_algorithm(algorithm)
+        name = self._require_current()
+        q = self._resolve_query(vertex)
+        plan = plan_search(algorithm, graph,
+                           index_ready=self.indexes.built(name),
+                           keywords=keywords)
+        algo = get_cs_algorithm(plan.algorithm)
         cache_key = None
         if use_cache and not params:
-            cache_key = self.cache.key(self._require_current(),
-                                       algo.name, q, k, keywords)
+            cache_key = self.cache.key(name, algo.name, q, k, keywords)
             cached = self.cache.get(cache_key)
             if cached is not None:
                 return cached
-        if algo.name.startswith("acq") and "index" not in params:
+        if plan.use_index and algo.name.startswith("acq") \
+                and "index" not in params:
             params["index"] = self.index()
         result = algo(graph, q, k, keywords=keywords, **params)
         if cache_key is not None:
-            self.cache.put(cache_key, result)
+            footprint = {v for c in result for v in c}
+            self.cache.put(cache_key, result, vertices=footprint)
         return result
 
     def detect(self, algorithm, **params):

@@ -1,16 +1,17 @@
-"""Query sessions and the result cache.
-
-Two pieces of server-side state around the stateless engine:
-
-* :class:`QueryCache` -- an LRU cache over (graph, algorithm, q, k, S)
-  keys.  Repeated queries are the norm in interactive exploration
-  (every `display` click re-runs its search), so the cache turns the
-  second look at a community into a dictionary hit.
+"""Query sessions (and the original standalone result cache).
 
 * :class:`ExplorationSession` -- the per-browser-session trail: which
   queries ran, in order, with what result summary.  It powers a
   "history" panel and the back-navigation the demo's exploration loop
   implies (Jim Gray -> Stonebraker -> ...).
+
+* :class:`QueryCache` -- the original LRU cache over
+  (graph, algorithm, q, k, S) keys.  The server path now uses the
+  engine's :class:`~repro.engine.cache.ResultCache` (which adds
+  eviction counters and footprint-based selective invalidation);
+  QueryCache remains as the minimal standalone substrate -- the
+  microbenchmark baseline in ``bench_substrates.py`` and a
+  dependency-free cache for embedders who want one.
 """
 
 import threading

@@ -25,9 +25,14 @@ recorded into that exploration session and the response echoes the id
 panel.
 
 Errors are reported as ``{"error": message}`` with status 400, the way
-the original UI surfaces bad queries.  The server is threaded; the
-underlying graph structures are only read after upload, so concurrent
-queries are safe.
+the original UI surfaces bad queries.  The server is threaded, but
+algorithm work no longer runs on handler threads: searches, detections
+and comparisons are submitted to the explorer's
+:class:`~repro.engine.executor.QueryEngine` -- a bounded worker pool
+with an admission-controlled queue.  When the queue is full the
+request is rejected immediately with **429**; a query that exceeds the
+server's deadline returns **504**.  Cache hits short-circuit the queue
+entirely.
 """
 
 import json
@@ -38,17 +43,23 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from repro.explorer.cexplorer import CExplorer
 from repro.explorer.sessions import SessionStore
 from repro.server.html import INDEX_HTML
-from repro.util.errors import CExplorerError
+from repro.util.errors import (
+    CExplorerError,
+    EngineBusyError,
+    QueryTimeoutError,
+)
 from repro.viz.render import render_svg
 
 
 class CExplorerServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer that owns a CExplorer instance."""
+    """ThreadingHTTPServer that owns a CExplorer and its engine."""
 
     daemon_threads = True
 
-    def __init__(self, address, explorer):
+    def __init__(self, address, explorer, query_timeout=30.0):
         self.explorer = explorer
+        self.engine = explorer.engine
+        self.query_timeout = query_timeout
         self.sessions = SessionStore()
         self.started_at = time.time()
         self.request_counts = {}
@@ -65,6 +76,13 @@ class CExplorerServer(ThreadingHTTPServer):
             if is_error:
                 self.error_count += 1
 
+    def submit(self, fn, *args, **kwargs):
+        """Run ``fn`` on the engine's worker pool, blocking the
+        handler thread (cheap: it only waits) until the result or the
+        server deadline."""
+        kwargs.setdefault("timeout", self.query_timeout)
+        return self.engine.execute(fn, *args, **kwargs)
+
     def metrics(self):
         with self.metrics_lock:
             return {
@@ -73,18 +91,22 @@ class CExplorerServer(ThreadingHTTPServer):
                 "errors": self.error_count,
                 "sessions": len(self.sessions),
                 "cache": self.explorer.cache.stats(),
+                "engine": self.engine.snapshot(),
             }
 
 
-def make_server(explorer=None, host="127.0.0.1", port=8080):
+def make_server(explorer=None, host="127.0.0.1", port=8080,
+                query_timeout=30.0):
     """Create (not start) a :class:`CExplorerServer`.
 
     ``port=0`` picks a free port; read it back from
-    ``server.server_address``.
+    ``server.server_address``.  Worker-pool sizing belongs to the
+    explorer (``CExplorer(workers=..., max_queue=...)``).
     """
     if explorer is None:
         explorer = CExplorer()
-    return CExplorerServer((host, port), explorer)
+    return CExplorerServer((host, port), explorer,
+                           query_timeout=query_timeout)
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -163,6 +185,13 @@ class _Handler(BaseHTTPRequestHandler):
                     handler(explorer, self._json_body())
                     return
             self._send(404, {"error": "no such endpoint: " + path})
+        except EngineBusyError as exc:
+            # Admission control: shed load fast instead of queueing.
+            self.server.count_request(path, is_error=True)
+            self._send(429, {"error": str(exc), "retry": True})
+        except QueryTimeoutError as exc:
+            self.server.count_request(path, is_error=True)
+            self._send(504, {"error": str(exc)})
         except CExplorerError as exc:
             self.server.count_request(path, is_error=True)
             self._send(400, {"error": str(exc)})
@@ -198,8 +227,11 @@ class _Handler(BaseHTTPRequestHandler):
         k = int(body.get("k", 4))
         algorithm = body.get("algorithm", "acq")
         keywords = body.get("keywords")
-        communities = explorer.search(algorithm, vertex, k=k,
-                                      keywords=keywords)
+        # Cache hits resolve inline; misses run on the worker pool
+        # with the server deadline (timeouts cancel the queued job).
+        communities = self.server.engine.search_sync(
+            algorithm, vertex, k=k, keywords=keywords,
+            timeout=self.server.query_timeout)
         return communities, {"vertex": vertex, "k": k,
                              "algorithm": algorithm, "keywords": keywords}
 
@@ -241,7 +273,8 @@ class _Handler(BaseHTTPRequestHandler):
     def _api_detect(self, explorer, body):
         algorithm = body.get("algorithm", "codicil")
         params = body.get("params") or {}
-        communities = explorer.detect(algorithm, **params)
+        communities = self.server.submit(explorer.detect, algorithm,
+                                         op="detect", **params)
         self._send(200, {
             "algorithm": algorithm,
             "count": len(communities),
@@ -277,8 +310,10 @@ class _Handler(BaseHTTPRequestHandler):
         k = int(body.get("k", 4))
         methods = body.get("methods") or ("global", "local", "codicil",
                                           "acq")
-        report = explorer.compare(vertex, k=k, methods=tuple(methods),
-                                  keywords=body.get("keywords"))
+        report = self.server.submit(explorer.compare, vertex, k=k,
+                                    methods=tuple(methods),
+                                    keywords=body.get("keywords"),
+                                    op="compare")
         doc = report.to_dict()
         if body.get("charts", True):
             from repro.viz.charts import render_quality_charts

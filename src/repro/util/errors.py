@@ -31,6 +31,26 @@ class QueryError(CExplorerError, ValueError):
     """A query had invalid parameters (bad k, empty keyword set, ...)."""
 
 
+class EngineError(CExplorerError):
+    """Base class for query-execution-engine failures."""
+
+
+class EngineBusyError(EngineError):
+    """Admission control rejected the request: the queue is full.
+
+    The HTTP layer translates this into a fast 429 so overload sheds
+    load instead of stacking threads.
+    """
+
+
+class QueryTimeoutError(EngineError):
+    """A submitted query exceeded its deadline."""
+
+
+class QueryCancelledError(EngineError):
+    """A submitted query was cancelled before it ran."""
+
+
 class UnknownAlgorithmError(CExplorerError, KeyError):
     """An algorithm name was not found in the plug-in registry."""
 

@@ -67,6 +67,24 @@ class TestBatchEvaluate:
                                  queries=[fig5.id_of("A")])
         assert results["k-truss"]["answered"] == 0
 
+    def test_engine_parallelism_matches_serial(self, dblp_small):
+        """Fanning the pool out over the engine's workers must not
+        change any aggregate (only wall-clock)."""
+        from repro.engine.executor import QueryEngine
+        engine = QueryEngine(workers=4, max_queue=256)
+        try:
+            serial = batch_evaluate(dblp_small, ("global",), k=3,
+                                    n_queries=8, seed=5)
+            parallel = batch_evaluate(dblp_small, ("global",), k=3,
+                                      n_queries=8, seed=5,
+                                      engine=engine)
+        finally:
+            engine.shutdown()
+        for field in ("queries", "answered", "avg_vertices",
+                      "avg_edges", "avg_degree", "avg_cpj", "avg_cmf"):
+            assert serial["global"][field] == parallel["global"][field]
+        assert parallel["global"]["wall_seconds"] >= 0
+
 
 class TestFormatBatchTable:
     def test_renders(self, dblp_small):

@@ -223,6 +223,37 @@ class TestQueryEndpoints:
         assert "cache" in doc
         assert doc["cache"]["capacity"] > 0
 
+    def test_metrics_engine_block(self, server):
+        """/api/metrics surfaces the query engine: pool shape, queue
+        depth, cache hit rate, and latency percentiles."""
+        # One repeated search guarantees at least one miss and one hit.
+        _post(server, "/api/search", {"vertex": "jim gray", "k": 4})
+        _post(server, "/api/search", {"vertex": "jim gray", "k": 4})
+        status, doc = _get(server, "/api/metrics")
+        assert status == 200
+        engine = doc["engine"]
+        assert engine["workers"] >= 1
+        assert engine["queue_depth"] >= 0
+        assert engine["max_queue"] >= 1
+        assert engine["cache"]["hits"] >= 1
+        assert 0.0 <= engine["cache"]["hit_rate"] <= 1.0
+        latency = engine["latency"]["search"]
+        assert latency["count"] >= 1
+        assert latency["p50_ms"] >= 0
+        assert latency["p95_ms"] >= latency["p50_ms"]
+        assert engine["counters"]["completed"] >= 1
+        assert engine["indexes"]["dblp"]["version"] >= 1
+
+    def test_search_runs_on_engine_workers(self, server):
+        """A search increments the engine's completed counter (the
+        work left the handler thread)."""
+        before = _get(server, "/api/metrics")[1]["engine"]["counters"]
+        _post(server, "/api/search",
+              {"vertex": "michael stonebraker", "k": 5})
+        after = _get(server, "/api/metrics")[1]["engine"]["counters"]
+        assert after["completed"] >= before.get("completed", 0)
+        assert after["submitted"] > before.get("submitted", 0)
+
     def test_metrics_counts_errors(self, server):
         before = _get(server, "/api/metrics")[1]["errors"]
         _post(server, "/api/search", {"vertex": "nobody here"})
