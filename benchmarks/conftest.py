@@ -12,11 +12,29 @@ Only fixtures live here; helpers that benchmarks import by name
 this conftest never collides with ``tests/conftest.py``.
 """
 
+import os
+
 import pytest
 
 from repro.core.cltree import build_cltree
 from repro.datasets import generate_dblp_graph
 from repro.explorer.cexplorer import CExplorer
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="capped bench mode for CI smoke jobs: smaller query "
+             "pools, relaxed shape assertions (also enabled by "
+             "REPRO_BENCH_QUICK=1)")
+
+
+@pytest.fixture(scope="session")
+def quick(request):
+    """Whether the capped CI smoke mode is on (flag or env)."""
+    return bool(request.config.getoption("--quick")
+                or os.environ.get("REPRO_BENCH_QUICK", "").lower()
+                in ("1", "true", "yes", "on"))
 
 
 @pytest.fixture(scope="session")

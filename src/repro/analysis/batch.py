@@ -14,6 +14,7 @@ import time
 from repro.algorithms.registry import get_cs_algorithm
 from repro.analysis.metrics import cmf, cpj
 from repro.core.kcore import core_decomposition
+from repro.util.errors import CExplorerError
 from repro.util.rng import make_rng
 
 
@@ -48,9 +49,18 @@ def _timed_query(algo, graph, q, k, keywords, params):
     return time.perf_counter() - start, communities
 
 
+def _explorer_algo(explorer, method):
+    """Adapt ``explorer.search`` to the raw CS-algorithm signature so
+    the timing/aggregation loop treats both paths identically."""
+    def run(graph, q, k, keywords=None, **params):
+        return explorer.search(method, q, k=k, keywords=keywords,
+                               **params)
+    return run
+
+
 def batch_evaluate(graph, methods, k=4, queries=None, n_queries=20,
                    seed=0, method_params=None, keywords=None,
-                   engine=None):
+                   engine=None, explorer=None):
     """Run each method over the query pool and aggregate.
 
     Returns ``{method: row}`` where each row carries::
@@ -68,13 +78,29 @@ def batch_evaluate(graph, methods, k=4, queries=None, n_queries=20,
     per-query execution time, so the numbers are comparable between
     serial and parallel runs; ``wall_seconds`` reports the elapsed
     wall-clock for the method's whole pool.
+
+    ``explorer`` routes every query through a
+    :class:`~repro.explorer.cexplorer.CExplorer` facade instead of the
+    raw algorithm callable, so planned execution, the engine result
+    cache, and sharded fan-out (graphs registered with ``shards > 1``)
+    all apply -- the way production traffic would run.  The explorer's
+    active graph must be ``graph``; repeated queries then measure the
+    warm path by design.
     """
+    if explorer is not None and explorer.graph is not graph:
+        raise CExplorerError(
+            "explorer's active graph is not the evaluated graph; "
+            "select_graph() it first (query vertex ids would silently "
+            "resolve against the wrong graph)")
     if queries is None:
         queries = pick_query_vertices(graph, k, n_queries, seed=seed)
     method_params = method_params or {}
     results = {}
     for name in methods:
-        algo = get_cs_algorithm(name)
+        if explorer is not None:
+            algo = _explorer_algo(explorer, name)
+        else:
+            algo = get_cs_algorithm(name)
         params = dict(method_params.get(name, {}))
         wall_start = time.perf_counter()
         if engine is not None:

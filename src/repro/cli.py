@@ -8,7 +8,12 @@ Subcommands mirror the paper's API (Figure 4) plus operational verbs::
     python -m repro detect   --graph dblp.json --algorithm codicil
     python -m repro index    --graph dblp.json --out dblp.cltree.json
     python -m repro profile  --name "Michael Stonebraker"
-    python -m repro serve    --graph dblp.json --port 8080
+    python -m repro partition --graph dblp.json --shards 4
+    python -m repro serve    --graph dblp.json --port 8080 --shards 4
+
+Graph-loading subcommands accept ``--shards N`` (with
+``--partitioner hash|greedy``) to register the graph partitioned, so
+shardable searches fan out over the engine's worker pool.
 
 Every subcommand prints human-readable text by default; ``--json``
 switches to machine-readable output.
@@ -29,8 +34,10 @@ from repro.util.errors import CExplorerError
 
 
 def _load_explorer(args):
-    explorer = CExplorer()
-    explorer.upload(args.graph, name="cli")
+    explorer = CExplorer(workers=getattr(args, "workers", 2))
+    explorer.upload(args.graph, name="cli",
+                    shards=getattr(args, "shards", 1),
+                    partitioner=getattr(args, "partitioner", "hash"))
     if getattr(args, "index", None):
         tree = load_cltree(args.index, explorer.graph)
         explorer.indexes.install("cli", tree, core=tree.core)
@@ -109,6 +116,30 @@ def _cmd_index(args):
     return 0
 
 
+def _cmd_partition(args):
+    """Evaluate shard partitionings of a graph: balance vs edge cut."""
+    from repro.engine.sharding import GraphPartitioner
+    from repro.graph.io import load_graph
+
+    graph = load_graph(args.graph)
+    methods = (["hash", "greedy"] if args.partitioner == "both"
+               else [args.partitioner])
+    docs = []
+    for method in methods:
+        part = GraphPartitioner(args.shards, method).partition(graph)
+        docs.append(part.stats())
+    if args.json:
+        print(json.dumps(docs, indent=1))
+        return 0
+    rows = [{"method": doc["method"], "shards": doc["shards"],
+             "cut_edges": doc["cut_edges"], "balance": doc["balance"],
+             "sizes": "/".join(str(s) for s in doc["sizes"])}
+            for doc in docs]
+    print(format_table(rows, columns=("method", "shards", "cut_edges",
+                                      "balance", "sizes")))
+    return 0
+
+
 def _cmd_profile(args):
     profile = ProfileStore().get(args.name)
     if args.json:
@@ -150,6 +181,15 @@ def build_parser():
         p.add_argument("--index", help="prebuilt CL-tree JSON")
         p.add_argument("--json", action="store_true",
                        help="machine-readable output")
+        p.add_argument("--shards", type=int, default=1,
+                       help="partition the graph into N shards and fan "
+                            "structural queries out (default 1)")
+        p.add_argument("--partitioner", default="hash",
+                       choices=["hash", "greedy"],
+                       help="shard placement: deterministic hash or "
+                            "greedy edge-cut balancer")
+        p.add_argument("--workers", type=int, default=2,
+                       help="engine worker threads (default 2)")
         if with_vertex:
             p.add_argument("--vertex", required=True)
             p.add_argument("-k", type=int, default=4,
@@ -185,6 +225,16 @@ def build_parser():
     p.add_argument("--name", required=True)
     p.add_argument("--json", action="store_true")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser("partition",
+                       help="evaluate shard partitionings of a graph")
+    p.add_argument("--graph", required=True,
+                   help="edge-list or JSON graph file")
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--partitioner", default="both",
+                   choices=["hash", "greedy", "both"])
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=_cmd_partition)
 
     p = sub.add_parser("serve", help="run the web system")
     common(p, with_vertex=False)

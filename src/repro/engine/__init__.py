@@ -48,7 +48,46 @@ The modules
 
 ``stats``
     :class:`~repro.engine.stats.EngineStats`: latency histograms
-    (p50/p95) and throughput counters behind ``/api/metrics``.
+    (p50/p95) and throughput counters behind ``/api/metrics``, plus
+    per-shard fan-out latency and skew.
+
+``sharding``
+    Partition-parallel execution for large graphs:
+    :class:`~repro.engine.sharding.GraphPartitioner` (deterministic
+    hash or greedy edge-cut placement),
+    :class:`~repro.engine.sharding.ShardedIndexManager` (one versioned
+    CL-tree/k-core index per shard, maintenance routed to the owning
+    shard only), and the exact fan-out/merge query path behind
+    :meth:`~repro.engine.executor.QueryEngine.search_sharded`.
+
+Sharded graphs
+==============
+
+A graph registered with ``shards > 1`` is partitioned once; each
+shard gets its own versioned index entry, and shardable searches
+(``global`` and the ACQ family) fan their structural phase out over
+the worker pool -- each shard scans only its own vertices, certifying
+survivors with its shard-local core numbers -- then the engine merges,
+re-verifies boundary-crossing vertices, and caches the merged result
+under the same key the unsharded path uses.  ``shards=1`` keeps the
+exact pre-sharding execution path, and sharded results are identical
+to unsharded ones by construction (a tested invariant)::
+
+    from repro import CExplorer
+    from repro.datasets import generate_dblp_graph
+
+    explorer = CExplorer(workers=4)
+    explorer.add_graph("dblp", generate_dblp_graph(),
+                       shards=4, partitioner="greedy")
+
+    explorer.search("acq", "Jim Gray", k=4)   # fans out over 4 shards
+    explorer.engine.snapshot()["partitions"]  # balance, cut, versions
+    explorer.engine.stats.snapshot()["sharding"]   # per-shard latency
+
+    maintainer = explorer.maintainer()
+    maintainer.insert_edge(u, v)    # bumps the owning shard's index
+                                    # version; other shards keep their
+                                    # cached decompositions
 
 Quickstart
 ==========
@@ -77,17 +116,27 @@ from repro.engine.cache import ResultCache, SubproblemMemo, query_key
 from repro.engine.executor import EngineFuture, QueryEngine
 from repro.engine.index_manager import IndexManager, IndexSnapshot
 from repro.engine.plans import QueryPlan, plan_search
+from repro.engine.sharding import (
+    GraphPartitioner,
+    Partition,
+    ShardedIndexManager,
+    ShardMergeError,
+)
 from repro.engine.stats import EngineStats, LatencyHistogram
 
 __all__ = [
     "EngineFuture",
     "EngineStats",
+    "GraphPartitioner",
     "IndexManager",
     "IndexSnapshot",
     "LatencyHistogram",
+    "Partition",
     "QueryEngine",
     "QueryPlan",
     "ResultCache",
+    "ShardMergeError",
+    "ShardedIndexManager",
     "SubproblemMemo",
     "plan_search",
     "query_key",

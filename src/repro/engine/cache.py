@@ -148,6 +148,16 @@ class ResultCache:
         with self._lock:
             return len(self._data)
 
+    def entries_by_graph(self):
+        """``{graph_name: entry count}`` -- the per-graph occupancy
+        the metrics endpoint reports next to shard/partition stats, so
+        a sharded deployment can see which graph owns the warm set."""
+        with self._lock:
+            counts = {}
+            for key in self._data:
+                counts[key[0]] = counts.get(key[0], 0) + 1
+            return counts
+
     def stats(self):
         with self._lock:
             total = self.hits + self.misses

@@ -22,8 +22,16 @@ algorithms (the Polynesia argument in PAPERS.md):
   :class:`~repro.engine.cache.SubproblemMemo`, wired to the
   :class:`~repro.engine.index_manager.IndexManager` so maintenance
   updates selectively evict stale entries;
+* **sharded fan-out** -- :meth:`QueryEngine.map_shards` pushes
+  per-shard subqueries onto the same pool with *work stealing*: the
+  coordinating thread claims any subjob no worker has started (via the
+  future's run-once CAS) and executes it inline, so a fan-out makes
+  progress even when every worker is busy -- including when the
+  coordinator *is* the only worker (no nested-submission deadlock).
+  :meth:`QueryEngine.search_sharded` is the full partition-parallel
+  search path (see :mod:`repro.engine.sharding`);
 * :class:`~repro.engine.stats.EngineStats` latency histograms behind
-  ``/api/metrics``.
+  ``/api/metrics``, including per-shard fan-out latency/skew.
 
 Synchronous callers (library users, the batch harness) use
 :meth:`QueryEngine.execute`; the server uses :meth:`submit` /
@@ -328,6 +336,86 @@ class QueryEngine:
         return self.explorer
 
     # ------------------------------------------------------------------
+    # sharded fan-out
+    # ------------------------------------------------------------------
+    def map_shards(self, fns, graph=None, op="shard"):
+        """Run per-shard callables on the pool with work stealing.
+
+        Every ``fn`` is submitted as a pool job; the calling thread
+        then walks its futures in order and *claims* any job no worker
+        has started yet (the future's ``set_running`` CAS), executing
+        it inline.  Free workers therefore supply parallelism, but the
+        fan-out never waits on a saturated pool -- in the worst case
+        the coordinator runs every shard itself, which is exactly the
+        unsharded serial cost.  Jobs rejected by admission control run
+        inline immediately (internal subqueries must not 429).
+
+        Returns ``(results, seconds)`` in submission order, where
+        ``seconds[i]`` is shard ``i``'s execution time.  ``graph``
+        names the graph being fanned over; when given, the per-shard
+        durations are recorded as that graph's fan-out/skew stats.  A
+        failing shard propagates its exception to the caller.
+        """
+        futures = []
+        for fn in fns:
+            wrapped = self._timed(fn)
+            try:
+                futures.append((self.submit(wrapped, op=op), wrapped))
+            except EngineBusyError:
+                futures.append((None, wrapped))
+        results = []
+        seconds = []
+        for i, (future, wrapped) in enumerate(futures):
+            try:
+                if future is None or future.set_running():
+                    # Rejected at admission, or claimed before any
+                    # worker got to it: run inline on the
+                    # coordinating thread.
+                    if future is not None:
+                        self.stats.count("shards_inline")
+                    try:
+                        elapsed, value = wrapped()
+                    except BaseException as exc:
+                        if future is not None:
+                            future.set_exception(exc)
+                        raise
+                    if future is not None:
+                        future.set_result((elapsed, value))
+                    self.stats.observe(op, elapsed)
+                else:
+                    elapsed, value = future.result(self.default_timeout)
+            except BaseException:
+                # Don't orphan the rest of the fan-out in the shared
+                # queue: unclaimed siblings are cancelled (running
+                # ones finish and are discarded).
+                for later, _ in futures[i + 1:]:
+                    if later is not None:
+                        later.cancel()
+                raise
+            results.append(value)
+            seconds.append(elapsed)
+        if graph is not None:
+            self.stats.observe_fanout(graph, seconds)
+        return results, seconds
+
+    @staticmethod
+    def _timed(fn):
+        def run():
+            start = time.perf_counter()
+            value = fn()
+            return time.perf_counter() - start, value
+        return run
+
+    def search_sharded(self, name, algorithm, q, k, keywords=None):
+        """Partition-parallel execution of one shardable search:
+        fan per-shard structural subqueries out over the pool, merge
+        and re-verify at the engine layer.  Results are identical to
+        unsharded execution (see :mod:`repro.engine.sharding`)."""
+        from repro.engine.sharding import sharded_search
+        return sharded_search(self, name, algorithm, q, k,
+                              keywords=keywords)
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _on_index_event(self, name, version, affected):
@@ -341,17 +429,21 @@ class QueryEngine:
             if job is _SHUTDOWN:
                 return
             future = job.future
-            if future.cancelled():
-                self.stats.count("cancelled")
+            if not future.set_running():
+                # Either cancelled by the caller, or a fan-out
+                # coordinator claimed (stole) the job and ran it
+                # inline before this worker got to it.
+                self.stats.count("cancelled" if future.cancelled()
+                                 else "stolen")
                 continue
+            # Deadline check only after winning the claim: a stolen
+            # job already completed elsewhere and must not be counted
+            # (or marked) as timed out.
             if (job.deadline is not None
                     and time.perf_counter() > job.deadline):
                 self.stats.count("timeouts")
                 future.set_exception(QueryTimeoutError(
                     "query spent its deadline waiting in the queue"))
-                continue
-            if not future.set_running():
-                self.stats.count("cancelled")
                 continue
             with self._lifecycle:
                 self._in_flight += 1
@@ -390,8 +482,21 @@ class QueryEngine:
             "memo": self.memo.stats(),
         })
         if self.explorer is not None:
+            names = self.indexes.names()
+            shard_entries = set()
+            for name in names:
+                shard_entries.update(self.indexes.shard_names(name))
+            # Top-level indexes: user-registered graphs only; the
+            # per-shard entries report under "partitions" instead.
             doc["indexes"] = {
                 name: self.indexes.stats(name)
-                for name in self.indexes.names()
+                for name in names if name not in shard_entries
             }
+            partitions = {}
+            for name in names:
+                info = self.indexes.shard_stats(name)
+                if info is not None:
+                    partitions[name] = info
+            if partitions:
+                doc["partitions"] = partitions
         return doc

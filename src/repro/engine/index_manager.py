@@ -124,6 +124,11 @@ class IndexManager:
         with self._lock:
             return self._entry(name).version
 
+    def graph(self, name):
+        """The registered graph object for ``name``."""
+        with self._lock:
+            return self._entry(name).graph
+
     def built(self, name):
         """Whether a current-version snapshot exists right now."""
         with self._lock:
@@ -203,6 +208,24 @@ class IndexManager:
                 if snap else None,
                 "maintained": entry.maintainer is not None,
             }
+
+    # ------------------------------------------------------------------
+    # sharding interface -- unsharded defaults, overridden by
+    # :class:`~repro.engine.sharding.ShardedIndexManager` so the
+    # engine can stay polymorphic over both managers.
+    # ------------------------------------------------------------------
+    def shards(self, name):
+        """How many shards ``name`` is held as (always 1 here)."""
+        return 1
+
+    def shard_names(self, name):
+        """Index-entry names of ``name``'s shards (none here)."""
+        return []
+
+    def shard_stats(self, name):
+        """Partition/per-shard stats for ``name`` (``None`` when
+        unsharded)."""
+        return None
 
     # ------------------------------------------------------------------
     # builds
@@ -304,7 +327,11 @@ class IndexManager:
         """
         with self._lock:
             entry = self._entry(name)
-            if entry.maintainer is not None and maintainer is None:
+            if entry.maintainer is not None and \
+                    maintainer in (None, entry.maintainer):
+                # Re-attaching (implicitly or with the already-wired
+                # maintainer) is a no-op: a second listener would bump
+                # versions twice per update.
                 return entry.maintainer
             if maintainer is None:
                 maintainer = CoreMaintainer(entry.graph)

@@ -19,34 +19,52 @@ SMALL_GRAPH_VERTICES = 2_000
 
 ACQ_FAMILY = ("acq", "acq-inc-s", "acq-inc-t")
 
+# Algorithms whose structural phase (the connected k-core component)
+# can fan out over graph shards; :mod:`repro.engine.sharding` aliases
+# this as its SHARDABLE_ALGORITHMS.
+FANOUT_ALGORITHMS = frozenset(ACQ_FAMILY) | {"global"}
+
 
 class QueryPlan:
-    """One planned execution: concrete algorithm + index decision."""
+    """One planned execution: algorithm + index + fan-out decision.
 
-    __slots__ = ("algorithm", "use_index", "reason")
+    ``fanout=True`` means the graph is registered as shards and the
+    chosen algorithm's structural phase should run partition-parallel
+    (:mod:`repro.engine.sharding`); it is never set when ``shards=1``,
+    so single-shard graphs keep the exact pre-sharding code path.
+    """
 
-    def __init__(self, algorithm, use_index, reason):
+    __slots__ = ("algorithm", "use_index", "reason", "fanout")
+
+    def __init__(self, algorithm, use_index, reason, fanout=False):
         self.algorithm = algorithm
         self.use_index = use_index
         self.reason = reason
+        self.fanout = fanout
 
     def explain(self):
         return {
             "algorithm": self.algorithm,
             "use_index": self.use_index,
             "reason": self.reason,
+            "fanout": self.fanout,
         }
 
     def __repr__(self):
-        return "QueryPlan({!r}, use_index={}, reason={!r})".format(
-            self.algorithm, self.use_index, self.reason)
+        return ("QueryPlan({!r}, use_index={}, fanout={}, reason={!r})"
+                .format(self.algorithm, self.use_index, self.fanout,
+                        self.reason))
 
 
-def plan_search(algorithm, graph, index_ready=False, keywords=None):
+def plan_search(algorithm, graph, index_ready=False, keywords=None,
+                shards=1):
     """Choose the concrete algorithm and whether to use the CL-tree.
 
     ``algorithm`` may be a registered CS name (passed through, with
     the index decision made here for the ACQ family) or ``"auto"``.
+    ``shards`` is how many partitions the graph is registered as;
+    with ``shards > 1`` the plan marks shard-fan-out-capable
+    algorithms (the k-core family) for partition-parallel execution.
 
     Auto rules, in order:
 
@@ -62,7 +80,17 @@ def plan_search(algorithm, graph, index_ready=False, keywords=None):
     amortised build); with ``index=None`` the implementations would
     build a throwaway CL-tree per query.
     """
-    algorithm = algorithm.lower()   # the registry is case-insensitive
+    plan = _choose(algorithm.lower(), graph, index_ready, keywords)
+    if shards > 1 and plan.algorithm in FANOUT_ALGORITHMS:
+        plan.fanout = True
+        plan.reason += ("; structural phase fans out over {} shards"
+                        .format(shards))
+    return plan
+
+
+def _choose(algorithm, graph, index_ready, keywords):
+    """The sharding-oblivious strategy pick (``algorithm`` already
+    lower-cased -- the registry is case-insensitive)."""
     n = graph.vertex_count
     if algorithm == "auto":
         if keywords:

@@ -1,0 +1,619 @@
+"""Sharded graph execution: partitioned CL-tree/k-core indexes plus
+the engine-level fan-out/merge that queries them in parallel.
+
+One large graph used to saturate one :class:`IndexManager` entry and
+one worker: every structural query re-scanned the whole vertex set on
+a single thread, and every maintenance update invalidated the single
+monolithic index.  This module decomposes that work the way factorised
+query engines decompose large instances (FDB in PAPERS.md) -- split
+the graph once, push the per-partition work out to the worker pool,
+and combine at the engine layer:
+
+* :func:`partition_graph` / :class:`GraphPartitioner` -- edge-cut
+  vertex partitioning.  The default is a deterministic multiplicative
+  hash (stable across runs, O(n), oblivious to structure); the
+  ``greedy`` method is a METIS-flavoured linear deterministic greedy
+  balancer that places each vertex with the neighbours it already has,
+  under a capacity penalty, cutting far fewer edges on
+  community-structured graphs.  Partition skew is the failure mode the
+  dynamic hash-join literature warns about (Jahangiri et al. in
+  PAPERS.md); :meth:`Partition.stats` reports balance and cut so the
+  metrics endpoint can surface it.
+
+* :class:`ShardedIndexManager` -- an :class:`IndexManager` that, for a
+  graph registered with ``shards > 1``, also materialises one induced
+  subgraph **per shard** and registers each as its own versioned
+  CL-tree/k-core index entry.  A :class:`CoreMaintainer` update is
+  routed to the *owning shard only*: an intra-shard edge is applied to
+  that shard's subgraph and bumps that shard's version; every other
+  shard keeps its cached decomposition.  Shard-local core numbers are
+  computed on a subgraph of ``G``, so they lower-bound the true core
+  numbers -- which makes them sound *certificates*: a vertex whose
+  shard-local core is ``>= k`` is guaranteed to be in the global
+  k-core and never needs to be peeled again.
+
+* :func:`sharded_structural_community` -- the exact decompose-then-
+  combine query path.  Fan-out: each shard scans only its own
+  vertices, classifying them as *certified* (shard-local core >= k),
+  *dropped* (global degree < k) or *uncertain*.  Merge: the engine
+  drains the peeling cascade over the uncertain vertices (certified
+  vertices are immovable), takes the connected component of the query
+  vertex, and re-verifies the k-core constraint on every
+  boundary-crossing vertex of the merged community.  The result is
+  provably the exact connected k-core component -- identical to the
+  unsharded answer -- because certified vertices belong to the k-core
+  by monotonicity and the cascade is the standard peel restricted to
+  the only vertices that can still move.
+
+* :func:`sharded_search` -- runs one shardable community search end to
+  end: structural phase fanned out over
+  :meth:`~repro.engine.executor.QueryEngine.map_shards`, then the
+  algorithm-specific finish (``global`` builds the community directly;
+  the ACQ family re-runs its keyword enumeration over the merged base,
+  which re-verifies the keyword constraints on the full graph).  With
+  ``shards=1`` nothing here runs at all -- the engine keeps the exact
+  pre-sharding code path.
+"""
+
+from repro.core.acq import acq_search
+from repro.core.community import Community
+from repro.core.kcore import connected_k_core, core_decomposition
+from repro.engine.index_manager import IndexManager
+from repro.engine.plans import FANOUT_ALGORITHMS
+from repro.util.errors import (
+    CExplorerError,
+    QueryCancelledError,
+    QueryError,
+    QueryTimeoutError,
+)
+
+# Algorithms whose structural phase is the connected k-core component
+# of the query vertex; only these fan out.  Triangle-based families
+# (k-truss, atc) need cross-shard support counts the shard indexes do
+# not track, and `local` is already sublinear, so they run unsharded.
+SHARDABLE_ALGORITHMS = FANOUT_ALGORITHMS
+
+PARTITION_METHODS = ("hash", "greedy")
+
+_SHARD_SEP = "#shard"
+
+# Knuth's multiplicative constant: spreads consecutive dense ids so a
+# hash partition does not put every community on one shard.
+_HASH_MULT = 2654435761
+_HASH_MASK = 0xFFFFFFFF
+
+
+def hash_shard(v, shards):
+    """Deterministic shard owner of vertex id ``v`` (stable across
+    runs and processes -- no reliance on Python's seeded ``hash``)."""
+    return ((v * _HASH_MULT) & _HASH_MASK) % shards
+
+
+class ShardMergeError(CExplorerError):
+    """A merged community failed re-verification (a sharding bug --
+    surfaced loudly instead of silently returning a wrong answer)."""
+
+
+class Partition:
+    """An edge-cut vertex partition of one graph.
+
+    ``assignment[v]`` is the owning shard of vertex ``v``.  Vertices
+    created after partitioning (online inserts) are assigned on demand
+    by the deterministic hash rule, so ownership is total at all times.
+    """
+
+    __slots__ = ("shards", "method", "assignment", "cut_edges")
+
+    def __init__(self, shards, method, assignment, cut_edges):
+        self.shards = shards
+        self.method = method
+        self.assignment = assignment
+        self.cut_edges = cut_edges
+
+    def owner(self, v):
+        """The shard owning ``v`` (hash-assigned when ``v`` postdates
+        the partitioning pass)."""
+        if v < len(self.assignment):
+            return self.assignment[v]
+        return hash_shard(v, self.shards)
+
+    def assign(self, v):
+        """Record ownership for a vertex created after partitioning;
+        returns the owning shard."""
+        while len(self.assignment) <= v:
+            self.assignment.append(
+                hash_shard(len(self.assignment), self.shards))
+        return self.assignment[v]
+
+    def members(self, shard):
+        """Vertex ids owned by ``shard`` (in id order)."""
+        return [v for v, s in enumerate(self.assignment) if s == shard]
+
+    def sizes(self):
+        counts = [0] * self.shards
+        for s in self.assignment:
+            counts[s] += 1
+        return counts
+
+    def stats(self):
+        """Balance/cut summary for the metrics endpoint."""
+        sizes = self.sizes()
+        mean = sum(sizes) / self.shards if self.shards else 0.0
+        return {
+            "shards": self.shards,
+            "method": self.method,
+            "sizes": sizes,
+            "cut_edges": self.cut_edges,
+            "balance": round(max(sizes) / mean, 4) if mean else 1.0,
+        }
+
+
+class GraphPartitioner:
+    """Edge-cut partitioner with pluggable placement strategies.
+
+    ``method="hash"`` (default) is the deterministic multiplicative
+    hash: O(n), perfectly reproducible, structure-oblivious.
+    ``method="greedy"`` is a METIS-style one-pass greedy balancer
+    (linear deterministic greedy): each vertex goes to the shard
+    holding most of its already-placed neighbours, penalised by how
+    full that shard is, with deterministic tie-breaks -- fewer cut
+    edges on graphs with community structure, same O(n + m) cost.
+    """
+
+    def __init__(self, shards, method="hash"):
+        if shards < 1:
+            raise CExplorerError("shards must be >= 1")
+        if method not in PARTITION_METHODS:
+            raise CExplorerError(
+                "unknown partitioner {!r}; choose from {}".format(
+                    method, PARTITION_METHODS))
+        self.shards = shards
+        self.method = method
+
+    def partition(self, graph):
+        """Partition ``graph``; returns a :class:`Partition`."""
+        n = graph.vertex_count
+        if self.shards == 1:
+            assignment = [0] * n
+        elif self.method == "hash":
+            assignment = [hash_shard(v, self.shards) for v in range(n)]
+        else:
+            assignment = self._greedy(graph)
+        cut = sum(1 for u, v in graph.edges()
+                  if assignment[u] != assignment[v])
+        return Partition(self.shards, self.method, assignment, cut)
+
+    def _greedy(self, graph):
+        n = graph.vertex_count
+        shards = self.shards
+        # Hard cap: no shard exceeds ceil(n / shards), so balance is
+        # guaranteed and skew cannot hide behind a good cut.
+        capacity = -(-n // shards)
+        assignment = [-1] * n
+        loads = [0] * shards
+        # Highest-degree first: hubs seed shards, their neighbourhoods
+        # follow them.  Ties break on vertex id for determinism.
+        order = sorted(range(n), key=lambda v: (-graph.degree(v), v))
+        for v in order:
+            placed = [0] * shards
+            for u in graph.neighbors(v):
+                if assignment[u] >= 0:
+                    placed[assignment[u]] += 1
+            best, best_key = 0, None
+            for s in range(shards):
+                if loads[s] >= capacity:
+                    continue
+                # Most already-placed neighbours wins; ties go to the
+                # least-loaded shard, then the lowest index.
+                key = (placed[s], -loads[s])
+                if best_key is None or key > best_key:
+                    best, best_key = s, key
+            assignment[v] = best
+            loads[best] += 1
+        return assignment
+
+
+def shard_entry_name(name, shard):
+    """Index-entry name of one shard of graph ``name``."""
+    return "{}{}{}".format(name, _SHARD_SEP, shard)
+
+
+def parent_graph_name(entry_name):
+    """The graph a (possibly shard-) entry name belongs to."""
+    return entry_name.split(_SHARD_SEP, 1)[0]
+
+
+class ShardReport:
+    """One shard's contribution to a structural query: the fan-out
+    payload the merge step consumes."""
+
+    __slots__ = ("shard", "certified", "uncertain", "dropped")
+
+    def __init__(self, shard, certified, uncertain, dropped):
+        self.shard = shard
+        self.certified = certified    # set: shard-local core >= k
+        self.uncertain = uncertain    # dict v -> current degree
+        self.dropped = dropped        # list: global degree < k
+
+
+class _ShardSet:
+    """Partition bookkeeping for one sharded graph."""
+
+    __slots__ = ("partition", "names", "graphs", "old_to_new", "routed")
+
+    def __init__(self, partition, names, graphs, old_to_new):
+        self.partition = partition
+        self.names = names
+        self.graphs = graphs          # per-shard induced subgraphs
+        self.old_to_new = old_to_new  # per-shard {global id: local id}
+        self.routed = None            # maintainer wired for routing
+
+
+class ShardedIndexManager(IndexManager):
+    """An :class:`IndexManager` that can hold a graph as shards.
+
+    ``register(..., shards=n)`` additionally materialises the ``n``
+    induced shard subgraphs and registers each under
+    ``<name>#shard<i>`` -- a full versioned index entry of its own, so
+    shard CL-trees build lazily/eagerly like any other index and
+    ``/api/metrics`` reports per-shard versions for free.  With
+    ``shards=1`` (the default) behaviour is exactly the parent's.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._parts = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, name, graph, build="lazy", shards=1,
+                 partitioner="hash"):
+        if _SHARD_SEP in name:
+            raise CExplorerError(
+                "graph names may not contain {!r}".format(_SHARD_SEP))
+        # Validate shard arguments (and compute the partition) *before*
+        # touching the parent entry: a rejected registration must not
+        # leave the manager holding a graph its caller rolled back.
+        part = GraphPartitioner(shards, partitioner).partition(graph) \
+            if shards > 1 else None
+        version = super().register(name, graph, build=build)
+        if part is not None:
+            names, graphs, mappings = [], [], []
+            for i in range(shards):
+                sub, old_to_new = graph.induced_subgraph(part.members(i))
+                entry = shard_entry_name(name, i)
+                # Replaces a same-named entry from a previous sharded
+                # registration in place -- no window where a shard
+                # entry is missing.
+                super().register(entry, sub, build=build)
+                names.append(entry)
+                graphs.append(sub)
+                mappings.append(old_to_new)
+            fresh = _ShardSet(part, names, graphs, mappings)
+            with self._lock:
+                old = self._parts.get(name)
+                self._parts[name] = fresh
+            leftovers = old.names[shards:] if old is not None else []
+        else:
+            with self._lock:
+                old = self._parts.pop(name, None)
+            leftovers = old.names if old is not None else []
+        for entry in leftovers:
+            super().unregister(entry)
+        return version
+
+    def unregister(self, name):
+        with self._lock:
+            old = self._parts.pop(name, None)
+        if old is not None:
+            for entry in old.names:
+                super().unregister(entry)
+        super().unregister(name)
+
+    # ------------------------------------------------------------------
+    # shard reads
+    # ------------------------------------------------------------------
+    def shards(self, name):
+        """Number of shards ``name`` is held as (1 = unsharded)."""
+        part = self._parts.get(name)
+        return part.partition.shards if part is not None else 1
+
+    def partition(self, name):
+        """The :class:`Partition` of ``name``, or ``None``."""
+        part = self._parts.get(name)
+        return part.partition if part is not None else None
+
+    def shard_names(self, name):
+        """Index-entry names of ``name``'s shards (empty when
+        unsharded)."""
+        part = self._parts.get(name)
+        return list(part.names) if part is not None else []
+
+    def shard_stats(self, name):
+        """Partition + per-shard index lifecycle stats (metrics)."""
+        part = self._parts.get(name)
+        if part is None:
+            return None
+        doc = part.partition.stats()
+        doc["indexes"] = [self.stats(entry) for entry in part.names]
+        return doc
+
+    def shard_candidates(self, name, shard, k):
+        """One shard's :class:`ShardReport` for a level-``k`` query.
+
+        Runs as a fan-out job on the worker pool: scans only the
+        shard's own vertices, certifying via the shard-local core
+        numbers (cached per shard version, so only maintenance on
+        *this* shard ever forces a recompute).
+        """
+        with self._lock:
+            part = self._parts.get(name)
+            if part is None:
+                raise CExplorerError(
+                    "graph {!r} is not sharded".format(name))
+        sub = part.graphs[shard]
+        try:
+            # Only trust the cached per-version decomposition when the
+            # index entry still holds *this* shard set's subgraph
+            # (a concurrent re-registration may have replaced it).
+            if self.graph(part.names[shard]) is sub:
+                local_core = self.core(part.names[shard])
+            else:
+                local_core = core_decomposition(sub)
+        except CExplorerError:
+            local_core = core_decomposition(sub)
+        mapping = part.old_to_new[shard]
+        graph = self.graph(name)
+        certified = set()
+        uncertain = {}
+        dropped = []
+        for old, new in mapping.items():
+            if local_core[new] >= k:
+                certified.add(old)
+                continue
+            degree = graph.degree(old)
+            if degree < k:
+                dropped.append(old)
+            else:
+                uncertain[old] = degree
+        return ShardReport(shard, certified, uncertain, dropped)
+
+    # ------------------------------------------------------------------
+    # maintenance routing
+    # ------------------------------------------------------------------
+    def attach_maintainer(self, name, maintainer=None):
+        """Parent wiring plus shard routing: each edge update is
+        applied to -- and bumps the version of -- the owning shard
+        only; the other shards keep their cached decompositions."""
+        maintainer = super().attach_maintainer(name, maintainer)
+        with self._lock:
+            part = self._parts.get(name)
+            # Idempotent per (shard set, maintainer): re-attaching
+            # must not stack a second routing listener (each update
+            # would bump shard versions twice, trashing the per-shard
+            # core caches this class exists to keep).
+            wire = part is not None and part.routed is not maintainer
+            if wire:
+                part.routed = maintainer
+        if wire:
+            def route(event):
+                self._route_update(name, event)
+            maintainer.add_listener(route)
+        return maintainer
+
+    def _route_update(self, name, event):
+        with self._lock:
+            part = self._parts.get(name)
+        if part is None:
+            return
+        u, v = event["edge"]
+        partition = part.partition
+        graph = self.graph(name)
+        adopted = set()
+        for w in (u, v):
+            if w >= len(partition.assignment):
+                adopted |= self._adopt_vertex(part, graph, w)
+        su, sv = partition.owner(u), partition.owner(v)
+        if su == sv:
+            sub = part.graphs[su]
+            mu = part.old_to_new[su][u]
+            mv = part.old_to_new[su][v]
+            if event["kind"] == "insert":
+                sub.add_edge(mu, mv)
+            elif sub.has_edge(mu, mv):
+                sub.remove_edge(mu, mv)
+        # A cross-shard edge lives in no shard subgraph; the owning
+        # shards' certificates stay sound (their subgraphs are still
+        # subgraphs of G), but their boundary changed, so their
+        # versions bump and dependants re-read.  Shards that adopted a
+        # new vertex bump too: their subgraph grew, so their cached
+        # core decompositions are stale.
+        for shard in sorted({su, sv} | adopted):
+            self.invalidate(shard_entry_name(name, shard),
+                            affected=set(event["edge"]))
+
+    def _adopt_vertex(self, part, graph, v):
+        """Assign a vertex created after partitioning to its hash
+        shard and mirror it into that shard's subgraph; returns the
+        set of shards that grew (their index entries must be
+        invalidated by the caller)."""
+        partition = part.partition
+        first_new = len(partition.assignment)
+        partition.assign(v)
+        touched = set()
+        for w in range(first_new, len(partition.assignment)):
+            shard = partition.assignment[w]
+            sub = part.graphs[shard]
+            local = sub.add_vertex(graph.label(w), graph.keywords(w))
+            part.old_to_new[shard][w] = local
+            touched.add(shard)
+        return touched
+
+
+# ----------------------------------------------------------------------
+# the exact decompose-then-combine structural query
+# ----------------------------------------------------------------------
+
+def merge_shard_reports(graph, reports, q, k, extra_vertices=()):
+    """Combine per-shard candidate reports into the exact connected
+    k-core component of ``q`` (or ``None``).
+
+    ``extra_vertices`` covers vertices no shard reported (created
+    after the partitioning pass and never routed through a
+    maintainer); they are classified here so the merge stays total.
+
+    The drain is the standard peel restricted to *uncertain* vertices:
+    certified vertices are in the global k-core by monotonicity
+    (shard-local core numbers lower-bound global ones), so they are
+    immovable and their degrees are never tracked.
+    """
+    certified = set()
+    uncertain = {}
+    queue = []
+    for report in reports:
+        certified |= report.certified
+        uncertain.update(report.uncertain)
+        queue.extend(report.dropped)
+    for v in extra_vertices:
+        degree = graph.degree(v)
+        if degree < k:
+            queue.append(v)
+        else:
+            uncertain[v] = degree
+    removed = set(queue)
+    while queue:
+        d = queue.pop()
+        for u in graph.neighbors(d):
+            if u in uncertain and u not in removed:
+                uncertain[u] -= 1
+                if uncertain[u] < k:
+                    removed.add(u)
+                    queue.append(u)
+    if q in removed or (q not in certified and q not in uncertain):
+        return None
+    # Component of q over the survivors, on the full adjacency.
+    component = {q}
+    frontier = [q]
+    while frontier:
+        u = frontier.pop()
+        for w in graph.neighbors(u):
+            if w in component or w in removed:
+                continue
+            if w in certified or w in uncertain:
+                component.add(w)
+                frontier.append(w)
+    return component
+
+
+def verify_boundary(graph, partition, component, k):
+    """Re-verify the k-core constraint on the merged community.
+
+    One pass over the full-graph adjacency recomputes every member's
+    within-community degree -- boundary-crossing vertices included,
+    which is where a bad merge would first show.  A violation raises
+    :class:`ShardMergeError` rather than returning a silently wrong
+    community (the caller answers it by recomputing serially).
+    """
+    for v in component:
+        internal = sum(1 for u in graph.neighbors(v) if u in component)
+        if internal < k:
+            raise ShardMergeError(
+                "vertex {} (shard {}) has internal degree {} < k={} "
+                "after merge".format(v, partition.owner(v), internal,
+                                     k))
+
+
+def sharded_structural_community(engine, name, q, k):
+    """The exact connected k-core component of ``q`` at level ``k``,
+    computed shard-parallel over ``engine``'s worker pool.
+
+    Fan-out: one :meth:`ShardedIndexManager.shard_candidates` job per
+    shard (certify / drop / classify, each scanning only its own
+    vertices).  Merge: drain the peeling cascade, take ``q``'s
+    component, re-verify boundary crossers.  Returns ``None`` when
+    ``q`` is not in the k-core.
+    """
+    indexes = engine.indexes
+    graph = indexes.graph(name)
+    partition = indexes.partition(name)
+    if partition is None:
+        # Raced a re-registration down to shards=1: answer exactly,
+        # just without the fan-out.
+        return connected_k_core(graph, q, k)
+    jobs = [
+        (lambda shard=shard: indexes.shard_candidates(name, shard, k))
+        for shard in range(partition.shards)
+    ]
+    try:
+        reports, _ = engine.map_shards(jobs, graph=name)
+        extra = range(len(partition.assignment), graph.vertex_count)
+        component = merge_shard_reports(graph, reports, q, k,
+                                        extra_vertices=extra)
+        if component is not None:
+            verify_boundary(graph, partition, component, k)
+        return component
+    except (QueryTimeoutError, QueryCancelledError):
+        # Deadline/cancellation signals belong to admission control;
+        # never convert them into more (serial) work.
+        raise
+    except (CExplorerError, IndexError, RuntimeError):
+        # A concurrent re-registration or maintenance update mutated
+        # the shard set under the fan-out (stale entries, dict/set
+        # changed during iteration, or a merge that failed
+        # re-verification).  Fall back to the exact serial
+        # computation; the stats counter keeps the event visible.
+        engine.stats.count("shard_fallbacks")
+        return connected_k_core(indexes.graph(name), q, k)
+
+
+class _MergedBaseIndex:
+    """Index shim handed to the ACQ family: answers the one
+    ``community_vertices(q, k)`` probe the algorithms make with the
+    sharded-merged component, so the keyword enumeration runs on
+    exactly the base the CL-tree would have produced."""
+
+    __slots__ = ("graph", "_q", "_k", "_component")
+
+    def __init__(self, graph, q, k, component):
+        self.graph = graph
+        self._q = q
+        self._k = k
+        self._component = component
+
+    def community_vertices(self, q, k):
+        if q == self._q and k == self._k:
+            return set(self._component) \
+                if self._component is not None else None
+        # Defensive: an unexpected probe falls back to the exact
+        # definition rather than answering for the wrong query.
+        return connected_k_core(self.graph, q, k)
+
+
+def sharded_search(engine, name, algorithm, q, k, keywords=None):
+    """Run one shardable community search; results are identical to
+    the unsharded path (the equivalence the tests prove).
+
+    ``global``: the merged component *is* the answer.  ACQ family: the
+    merged component is the structural base; the keyword enumeration
+    (bounded by the community, not the graph) runs at the merge and
+    re-verifies every keyword constraint against the full graph.
+    """
+    if algorithm not in SHARDABLE_ALGORITHMS:
+        raise CExplorerError(
+            "algorithm {!r} does not support sharded execution"
+            .format(algorithm))
+    if k < 0:
+        raise QueryError("degree constraint k must be >= 0")
+    graph = engine.indexes.graph(name)
+    q0 = q if isinstance(q, int) else tuple(q)[0]
+    component = sharded_structural_community(engine, name, q0, k)
+    if algorithm == "global":
+        if component is None:
+            return []
+        return [Community(graph, component, method="Global",
+                          query_vertices=(q0,), k=k)]
+    variant = "dec" if algorithm == "acq" else algorithm[len("acq-"):]
+    shim = _MergedBaseIndex(graph, q0, k, component)
+    return acq_search(graph, q, k, keywords=keywords,
+                      algorithm=variant, index=shim)

@@ -36,8 +36,8 @@ from repro.analysis.graph_stats import graph_summary
 from repro.analysis.metrics import cmf, community_conductance, \
     community_density, cpj
 from repro.engine.executor import QueryEngine
-from repro.engine.index_manager import IndexManager
 from repro.engine.plans import plan_search
+from repro.engine.sharding import ShardedIndexManager
 from repro.explorer.autocomplete import NameIndex
 from repro.explorer.profiles import ProfileStore
 from repro.graph.io import load_graph
@@ -79,7 +79,9 @@ class CExplorer:
         self._graphs = {}
         self._current = None
         self.profiles = profiles if profiles is not None else ProfileStore()
-        self.indexes = IndexManager()
+        # Sharding-aware: graphs registered with shards=1 (the
+        # default) behave exactly as under the plain IndexManager.
+        self.indexes = ShardedIndexManager()
         self.engine = QueryEngine(explorer=self, workers=workers,
                                   max_queue=max_queue,
                                   cache_size=cache_size,
@@ -91,19 +93,22 @@ class CExplorer:
     # ------------------------------------------------------------------
     # graph management ("upload" in the paper API)
     # ------------------------------------------------------------------
-    def upload(self, file_path, name=None):
+    def upload(self, file_path, name=None, shards=1, partitioner="hash"):
         """Load a graph file (edge list or JSON) and select it.
 
         Returns the registered graph name.  The paper API's
-        ``upload(String filePath)``.
+        ``upload(String filePath)``, extended with the shard count the
+        server's upload endpoint forwards.
         """
         graph = load_graph(file_path)
         validate_graph(graph)
         if name is None:
             name = str(file_path).rsplit("/", 1)[-1].rsplit(".", 1)[0]
-        return self.add_graph(name, graph)
+        return self.add_graph(name, graph, shards=shards,
+                              partitioner=partitioner)
 
-    def add_graph(self, name, graph, select=True, build="lazy"):
+    def add_graph(self, name, graph, select=True, build="lazy",
+                  shards=1, partitioner="hash"):
         """Register an in-memory graph under ``name``.
 
         Re-registering a name replaces the graph, bumps its index
@@ -111,14 +116,30 @@ class CExplorer:
         picks the index policy: ``"lazy"`` (first query pays),
         ``"eager"`` (build-on-upload), or ``"background"`` (a builder
         thread runs while queries fall back to index-free plans).
+
+        ``shards > 1`` registers the graph partitioned: one versioned
+        CL-tree/k-core index per shard, and shardable searches fan
+        their structural phase out over the engine's worker pool
+        (``partitioner`` is ``"hash"`` or ``"greedy"``).  ``shards=1``
+        keeps the exact unsharded execution path.
         """
+        # Register indexes first: a rejected name (e.g. one colliding
+        # with the shard-entry namespace) must not leave a phantom
+        # half-registered graph behind.  Registration notifies the
+        # engine, which evicts the graph's cached results and memoized
+        # subproblems.
+        self.indexes.register(name, graph, build=build, shards=shards,
+                              partitioner=partitioner)
         self._graphs[name] = _GraphEntry(name, graph)
-        # Registration notifies the engine, which evicts the graph's
-        # cached results and memoized subproblems.
-        self.indexes.register(name, graph, build=build)
         if select or self._current is None:
             self._current = name
         return name
+
+    def shards(self, name=None):
+        """How many shards a graph is registered as (1 = unsharded)."""
+        if name is None:
+            name = self._require_current()
+        return self.indexes.shards(name)
 
     def select_graph(self, name):
         """Switch the active graph (the UI's dataset picker)."""
@@ -263,7 +284,8 @@ class CExplorer:
         name = self._current
         plan = plan_search(algorithm, self.graph,
                            index_ready=self.indexes.built(name),
-                           keywords=keywords)
+                           keywords=keywords,
+                           shards=self.indexes.shards(name))
         key = self.cache.key(name, plan.algorithm, q, k, keywords)
         return self.cache.get(key, record_miss=False)
 
@@ -286,7 +308,8 @@ class CExplorer:
         q = self._resolve_query(vertex)
         plan = plan_search(algorithm, graph,
                            index_ready=self.indexes.built(name),
-                           keywords=keywords)
+                           keywords=keywords,
+                           shards=self.indexes.shards(name))
         algo = get_cs_algorithm(plan.algorithm)
         cache_key = None
         if use_cache and not params:
@@ -294,14 +317,28 @@ class CExplorer:
             cached = self.cache.get(cache_key)
             if cached is not None:
                 return cached
-        if plan.use_index and algo.name.startswith("acq") \
-                and "index" not in params:
-            params["index"] = self.index()
-        result = algo(graph, q, k, keywords=keywords, **params)
+        if plan.fanout and not params and self._fanout_applicable(plan, q):
+            # Partition-parallel: per-shard structural subqueries on
+            # the worker pool, merged (and re-verified) at the engine
+            # layer.  Results are identical to the unsharded path, so
+            # the merged result is cached under the same key below.
+            result = self.engine.search_sharded(name, plan.algorithm,
+                                                q, k, keywords=keywords)
+        else:
+            if plan.use_index and algo.name.startswith("acq") \
+                    and "index" not in params:
+                params["index"] = self.index()
+            result = algo(graph, q, k, keywords=keywords, **params)
         if cache_key is not None:
             footprint = {v for c in result for v in c}
             self.cache.put(cache_key, result, vertices=footprint)
         return result
+
+    @staticmethod
+    def _fanout_applicable(plan, q):
+        """``global`` takes a single query vertex; the ACQ family also
+        accepts multi-vertex queries (the "+" button)."""
+        return plan.algorithm != "global" or isinstance(q, int)
 
     def detect(self, algorithm, **params):
         """Run a CD algorithm on the whole active graph."""

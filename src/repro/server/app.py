@@ -6,7 +6,9 @@ Endpoints (all JSON; POST bodies are JSON documents):
 ``GET  /``                the HTML client page
 ``GET  /api/algorithms``  registered CS/CD algorithm names
 ``GET  /api/graphs``      uploaded graph names + sizes
-``POST /api/upload``      ``{"path": ..., "name": ...}`` -> load a graph file
+``POST /api/upload``      ``{"path", "name", "shards", "partitioner"}``
+                          -> load a graph file (``shards > 1``
+                          registers it partitioned for fan-out)
 ``POST /api/options``     ``{"vertex": ...}`` -> degree choices + keywords
 ``POST /api/search``      ``{"vertex", "k", "algorithm", "keywords"}``
 ``POST /api/detect``      ``{"algorithm", "params"}``
@@ -85,12 +87,17 @@ class CExplorerServer(ThreadingHTTPServer):
 
     def metrics(self):
         with self.metrics_lock:
+            cache = self.explorer.cache.stats()
+            cache["by_graph"] = self.explorer.cache.entries_by_graph()
             return {
                 "uptime_seconds": round(time.time() - self.started_at, 3),
                 "requests": dict(self.request_counts),
                 "errors": self.error_count,
                 "sessions": len(self.sessions),
-                "cache": self.explorer.cache.stats(),
+                "cache": cache,
+                # Includes per-shard index versions, partition
+                # balance/cut, and fan-out latency/skew for sharded
+                # graphs (see EngineStats.observe_fanout).
                 "engine": self.engine.snapshot(),
             }
 
@@ -165,7 +172,8 @@ class _Handler(BaseHTTPRequestHandler):
                         {"name": name,
                          "vertices": explorer._graphs[name]
                          .graph.vertex_count,
-                         "edges": explorer._graphs[name].graph.edge_count}
+                         "edges": explorer._graphs[name].graph.edge_count,
+                         "shards": explorer.shards(name)}
                         for name in explorer.graph_names()
                     ]})
                 return
@@ -212,11 +220,21 @@ class _Handler(BaseHTTPRequestHandler):
         path = body.get("path")
         if not path:
             raise CExplorerError("upload needs a 'path'")
+        try:
+            shards = int(body.get("shards", 1))
+        except (TypeError, ValueError):
+            raise CExplorerError(
+                "'shards' must be an integer") from None
+        if shards < 1:
+            raise CExplorerError("shards must be >= 1")
         with self.server.write_lock:
-            name = explorer.upload(path, name=body.get("name"))
+            name = explorer.upload(
+                path, name=body.get("name"), shards=shards,
+                partitioner=body.get("partitioner", "hash"))
         graph = explorer.graph
         self._send(200, {"name": name, "vertices": graph.vertex_count,
-                         "edges": graph.edge_count})
+                         "edges": graph.edge_count,
+                         "shards": explorer.shards(name)})
 
     def _api_options(self, explorer, body):
         options = explorer.query_options(_need(body, "vertex"))

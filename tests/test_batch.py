@@ -85,6 +85,31 @@ class TestBatchEvaluate:
             assert serial["global"][field] == parallel["global"][field]
         assert parallel["global"]["wall_seconds"] >= 0
 
+    def test_explorer_routing_matches_raw_algorithms(self, dblp_small):
+        """Routing queries through a (sharded) explorer facade -- the
+        production path -- must not change any aggregate either."""
+        from repro.explorer.cexplorer import CExplorer
+        explorer = CExplorer(workers=2)
+        explorer.add_graph("dblp", dblp_small, shards=2,
+                           partitioner="greedy")
+        raw = batch_evaluate(dblp_small, ("global",), k=3,
+                             n_queries=8, seed=5)
+        routed = batch_evaluate(dblp_small, ("global",), k=3,
+                                n_queries=8, seed=5, explorer=explorer)
+        for field in ("queries", "answered", "avg_vertices",
+                      "avg_edges", "avg_degree", "avg_cpj", "avg_cmf"):
+            assert raw["global"][field] == routed["global"][field]
+        # The fan-out actually ran.
+        assert "dblp" in explorer.engine.stats.snapshot()["sharding"]
+
+    def test_explorer_graph_mismatch_rejected(self, dblp_small, fig5):
+        from repro.explorer.cexplorer import CExplorer
+        from repro.util.errors import CExplorerError
+        explorer = CExplorer()
+        explorer.add_graph("fig5", fig5)
+        with pytest.raises(CExplorerError):
+            batch_evaluate(dblp_small, ("global",), explorer=explorer)
+
 
 class TestFormatBatchTable:
     def test_renders(self, dblp_small):

@@ -490,7 +490,17 @@ class TestPlans:
 
     def test_explain_is_json_friendly(self, dblp_small):
         doc = plan_search("auto", dblp_small).explain()
-        assert set(doc) == {"algorithm", "use_index", "reason"}
+        assert set(doc) == {"algorithm", "use_index", "reason", "fanout"}
+        assert doc["fanout"] is False
+
+    def test_sharded_graph_plans_fanout(self, dblp_small):
+        plan = plan_search("global", dblp_small, shards=4)
+        assert plan.fanout
+        assert "4 shards" in plan.reason
+        # Non-shardable algorithms never fan out...
+        assert not plan_search("k-truss", dblp_small, shards=4).fanout
+        # ...and shards=1 keeps the exact unsharded plan.
+        assert not plan_search("global", dblp_small, shards=1).fanout
 
 
 # ----------------------------------------------------------------------

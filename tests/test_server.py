@@ -172,7 +172,8 @@ class TestQueryEndpoints:
         status, doc = _post(server, "/api/upload", {"path": path,
                                                     "name": "fig5"})
         assert status == 200
-        assert doc == {"name": "fig5", "vertices": 10, "edges": 11}
+        assert doc == {"name": "fig5", "vertices": 10, "edges": 11,
+                       "shards": 1}
         # Restore the dblp graph as active for other tests.
         server.explorer.select_graph("dblp")
 
