@@ -48,7 +48,7 @@ from repro.core import (
 )
 from repro.engine import IndexManager, QueryEngine
 from repro.explorer import CExplorer
-from repro.graph import AttributedGraph, load_graph
+from repro.graph import AttributedGraph, FrozenGraph, freeze, load_graph
 from repro.server import make_server
 
 __version__ = "1.0.0"
@@ -59,6 +59,7 @@ __all__ = [
     "CExplorer",
     "CLTree",
     "Community",
+    "FrozenGraph",
     "IndexManager",
     "QueryEngine",
     "acq_search",
@@ -68,6 +69,7 @@ __all__ = [
     "connected_k_core",
     "core_decomposition",
     "cpj",
+    "freeze",
     "k_core",
     "k_truss",
     "load_graph",

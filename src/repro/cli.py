@@ -13,7 +13,11 @@ Subcommands mirror the paper's API (Figure 4) plus operational verbs::
 
 Graph-loading subcommands accept ``--shards N`` (with
 ``--partitioner hash|greedy``) to register the graph partitioned, so
-shardable searches fan out over the engine's worker pool.
+shardable searches fan out over the engine's worker pool, and
+``--backend thread|process`` to pick the execution backend
+(``process`` ships shard subqueries and CL-tree builds to a
+multiprocessing pool over frozen CSR snapshots -- real parallelism
+for CPU-bound structural work on multi-core hosts).
 
 Every subcommand prints human-readable text by default; ``--json``
 switches to machine-readable output.
@@ -34,7 +38,8 @@ from repro.util.errors import CExplorerError
 
 
 def _load_explorer(args):
-    explorer = CExplorer(workers=getattr(args, "workers", 2))
+    explorer = CExplorer(workers=getattr(args, "workers", 2),
+                         backend=getattr(args, "backend", "thread"))
     explorer.upload(args.graph, name="cli",
                     shards=getattr(args, "shards", 1),
                     partitioner=getattr(args, "partitioner", "hash"))
@@ -190,6 +195,12 @@ def build_parser():
                             "greedy edge-cut balancer")
         p.add_argument("--workers", type=int, default=2,
                        help="engine worker threads (default 2)")
+        p.add_argument("--backend", default="thread",
+                       choices=["thread", "process"],
+                       help="execution backend: 'process' runs shard "
+                            "subqueries and CL-tree builds in a "
+                            "multiprocessing pool over frozen CSR "
+                            "snapshots (default thread)")
         if with_vertex:
             p.add_argument("--vertex", required=True)
             p.add_argument("-k", type=int, default=4,

@@ -37,6 +37,7 @@ Two builders are provided, mirroring the ACQ paper:
 """
 
 from repro.core.kcore import core_decomposition
+from repro.graph.frozen import neighbor_function
 from repro.util.unionfind import UnionFind
 
 
@@ -224,12 +225,18 @@ def build_cltree(graph, core=None):
     higher-k cores can only merge *through* those new vertices, so each
     union-find set that received new vertices becomes exactly one new
     node whose children are the anchors of the merged sets.
+
+    Accepts either a mutable :class:`AttributedGraph` or a frozen CSR
+    snapshot; the frozen case walks the flat ``indptr``/``indices``
+    arrays directly (the shard-parallel process-backend builds ship
+    frozen subgraphs, see :mod:`repro.engine.backends`).
     """
     if core is None:
         core = core_decomposition(graph)
     n = graph.vertex_count
     if n == 0:
         return CLTree(graph, [], [], [])
+    neighbors = neighbor_function(graph)
 
     by_core = {}
     for v in range(n):
@@ -262,7 +269,7 @@ def build_cltree(graph, core=None):
         for v in newly:
             uf.add(v)
         for v in newly:
-            for u in graph.neighbors(v):
+            for u in neighbors(v):
                 if core[u] >= k and u in uf:
                     merge(v, u)
         # Group the level's vertices by their (final) component.

@@ -12,8 +12,32 @@ rest of the system:
   primitive shared by ACQ, Global and Local.
 * :func:`connected_k_core` -- the connected component of ``H_k``
   containing a query vertex, i.e. exactly what the ``Global`` baseline
-  returns for a fixed ``k``.
+  returns for a fixed ``k``.  Accepts a precomputed ``core`` array so
+  engine-indexed callers reuse the versioned decomposition instead of
+  recomputing O(n + m) per query.
+
+Every kernel has two code paths with identical results (a tested
+invariant):
+
+* the seed **adjacency-set** path for mutable
+  :class:`~repro.graph.attributed.AttributedGraph` objects;
+* a **CSR fast path** for :class:`~repro.graph.frozen.FrozenGraph`
+  snapshots, walking the flat ``indptr``/``indices`` arrays directly
+  (no per-edge set lookups, no per-call bounds checks).  When NumPy is
+  importable, :func:`core_decomposition` additionally vectorises the
+  CSR case as level-synchronous peeling (remove every vertex below the
+  current level at once, decrement neighbours with one scatter-add) --
+  the same peeling order as Batagelj-Zaversnik, so core numbers are
+  identical, but each round is a handful of array ops instead of a
+  Python loop over edges.
 """
+
+from repro.graph.frozen import neighbor_function
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - the container ships numpy
+    _np = None
 
 
 def core_decomposition(graph):
@@ -21,8 +45,11 @@ def core_decomposition(graph):
 
     Implements the Batagelj-Zaversnik O(n + m) algorithm: vertices are
     kept in an array sorted by current degree with bucket boundaries,
-    and each removal decrements neighbours in place.
+    and each removal decrements neighbours in place.  Frozen (CSR)
+    graphs take the flat-array fast path instead.
     """
+    if hasattr(graph, "csr"):
+        return core_decomposition_csr(graph)
     n = graph.vertex_count
     if n == 0:
         return []
@@ -67,6 +94,98 @@ def core_decomposition(graph):
     return core
 
 
+def core_decomposition_csr(graph):
+    """Core numbers of a CSR (frozen) graph.
+
+    Dispatches to the vectorised NumPy kernel when available, else the
+    pure-Python flat-array kernel; both return the exact Batagelj-
+    Zaversnik core numbers as a plain list.
+    """
+    if len(graph.indptr) <= 1:
+        return []
+    if _np is not None:
+        csr = graph.csr_numpy()
+        if csr is not None:
+            return _core_csr_numpy(*csr)
+    return _core_csr_python(*graph.csr())
+
+
+def _core_csr_numpy(indptr, indices):
+    """Vectorised level-synchronous peeling over int64 CSR arrays.
+
+    Peel level ``k`` removes, in rounds, every still-alive vertex
+    whose residual degree is <= k and assigns it core number ``k``;
+    neighbours of the removed batch are decremented with one
+    ``subtract.at`` scatter.  Exactly the BZ peeling order batched per
+    round, so the result is the same core array.
+    """
+    n = len(indptr) - 1
+    deg = indptr[1:] - indptr[:-1]
+    core = _np.zeros(n, dtype=_np.int64)
+    alive = _np.ones(n, dtype=bool)
+    remaining = n
+    k = 0
+    while remaining:
+        peel = _np.flatnonzero(alive & (deg <= k))
+        if peel.size == 0:
+            k += 1
+            continue
+        core[peel] = k
+        alive[peel] = False
+        remaining -= int(peel.size)
+        starts = indptr[peel]
+        counts = indptr[peel + 1] - starts
+        total = int(counts.sum())
+        if total:
+            # Concatenate the removed batch's index ranges without a
+            # Python loop: position j of block i is starts[i] + (j -
+            # exclusive_prefix(counts)[i]).
+            offs = _np.zeros(peel.size, dtype=_np.int64)
+            _np.cumsum(counts[:-1], out=offs[1:])
+            pos = _np.arange(total, dtype=_np.int64) \
+                + _np.repeat(starts - offs, counts)
+            _np.subtract.at(deg, indices[pos], 1)
+    return core.tolist()
+
+
+def _core_csr_python(indptr, indices):
+    """Pure-Python BZ bucket peeling over the flat CSR arrays."""
+    n = len(indptr) - 1
+    degree = [indptr[v + 1] - indptr[v] for v in range(n)]
+    max_degree = max(degree)
+    bin_count = [0] * (max_degree + 1)
+    for d in degree:
+        bin_count[d] += 1
+    bin_start = [0] * (max_degree + 1)
+    total = 0
+    for d in range(max_degree + 1):
+        bin_start[d] = total
+        total += bin_count[d]
+    order = [0] * n
+    position = [0] * n
+    fill = list(bin_start)
+    for v in range(n):
+        position[v] = fill[degree[v]]
+        order[position[v]] = v
+        fill[degree[v]] += 1
+    core = list(degree)
+    for i in range(n):
+        v = order[i]
+        core_v = core[v]
+        for u in indices[indptr[v]:indptr[v + 1]]:
+            cu = core[u]
+            if cu > core_v:
+                pu = position[u]
+                pw = bin_start[cu]
+                w = order[pw]
+                if u != w:
+                    order[pu], order[pw] = w, u
+                    position[u], position[w] = pw, pu
+                bin_start[cu] += 1
+                core[u] = cu - 1
+    return core
+
+
 def max_core_number(graph):
     """Largest k such that the k-core is non-empty (0 for empty graph)."""
     core = core_decomposition(graph)
@@ -89,16 +208,18 @@ def peel_to_min_degree(graph, candidates, k, protect=()):
     is considered failed and ``None`` is returned -- this is how ACQ
     verification notices that the query vertex cannot survive.
 
-    Runs in O(sum of candidate degrees).
+    Runs in O(sum of candidate degrees); frozen graphs walk the flat
+    CSR arrays instead of per-vertex neighbour sets.
     """
     alive = set(candidates)
     protect = set(protect)
     if not protect <= alive:
         return None
+    neighbors = neighbor_function(graph)
     deg = {}
     queue = []
     for v in alive:
-        d = sum(1 for u in graph.neighbors(v) if u in alive)
+        d = sum(1 for u in neighbors(v) if u in alive)
         deg[v] = d
         if d < k:
             queue.append(v)
@@ -108,7 +229,7 @@ def peel_to_min_degree(graph, candidates, k, protect=()):
         if v in protect:
             return None
         alive.discard(v)
-        for u in graph.neighbors(v):
+        for u in neighbors(v):
             if u in alive:
                 deg[u] -= 1
                 if deg[u] < k and u not in removed:
@@ -119,24 +240,30 @@ def peel_to_min_degree(graph, candidates, k, protect=()):
     return alive
 
 
-def connected_k_core(graph, q, k):
+def connected_k_core(graph, q, k, core=None):
     """Connected component of ``H_k`` containing ``q``; None if absent.
 
     This is the community the ``Global`` algorithm (Sozio & Gionis)
     returns when the user fixes the degree constraint to ``k`` -- the
     largest connected subgraph containing ``q`` with min degree >= k.
+
+    ``core`` optionally supplies precomputed core numbers (e.g. the
+    engine's versioned per-graph decomposition) so repeated queries
+    skip the O(n + m) recomputation; when given it must describe
+    ``graph``'s current state.
     """
-    core = core_decomposition(graph)
+    if core is None:
+        core = core_decomposition(graph)
     if core[q] < k:
         return None
-    member = {v for v in graph.vertices() if core[v] >= k}
+    neighbors = neighbor_function(graph)
     seen = {q}
     frontier = [q]
     while frontier:
         nxt = []
         for u in frontier:
-            for w in graph.neighbors(u):
-                if w in member and w not in seen:
+            for w in neighbors(u):
+                if core[w] >= k and w not in seen:
                     seen.add(w)
                     nxt.append(w)
         frontier = nxt

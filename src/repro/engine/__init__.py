@@ -60,6 +60,36 @@ The modules
     shard only), and the exact fan-out/merge query path behind
     :meth:`~repro.engine.executor.QueryEngine.search_sharded`.
 
+``backends``
+    Execution backends.  :class:`~repro.engine.backends.ProcessBackend`
+    plus the picklable job functions that let shard subqueries and
+    CL-tree builds run in a ``multiprocessing`` pool over frozen CSR
+    snapshots (:class:`~repro.graph.frozen.FrozenGraph`).
+
+Choosing a backend
+==================
+
+``QueryEngine(backend="thread")`` (default) keeps everything
+in-process: shared memory, no serialisation, lowest latency -- the
+right choice for small graphs, warm-cache interactive traffic, and
+single-core hosts, and exactly the pre-backend behaviour.
+``backend="process"`` ships CPU-bound structural work (per-shard
+certification scans, core decompositions, CL-tree builds) to worker
+processes fed by pickled :class:`~repro.graph.frozen.FrozenGraph`
+snapshots, dodging the GIL where the ROADMAP says it hurts most --
+pick it for sharded graphs on multi-core hosts where cold structural
+queries and index builds dominate.  Results are identical either way
+(a property-tested invariant); the process backend transparently
+falls back in-process on any pool failure, and its overheads are
+observable as ``snapshot_build`` / ``shard_ipc`` /
+``index_build_ipc`` latency ops in ``/api/metrics``::
+
+    explorer = CExplorer(workers=4, backend="process")
+    explorer.add_graph("dblp", generate_dblp_graph(),
+                       shards=4, partitioner="greedy")
+    explorer.search("acq", "Jim Gray", k=4)   # fan-out in the pool
+    explorer.engine.snapshot()["backend"]     # "process"
+
 Sharded graphs
 ==============
 
@@ -112,6 +142,11 @@ Mutations route through a maintainer so caches stay honest::
                                             # selectively evicts
 """
 
+from repro.engine.backends import (
+    BACKENDS,
+    ProcessBackend,
+    ProcessBackendError,
+)
 from repro.engine.cache import ResultCache, SubproblemMemo, query_key
 from repro.engine.executor import EngineFuture, QueryEngine
 from repro.engine.index_manager import IndexManager, IndexSnapshot
@@ -121,10 +156,12 @@ from repro.engine.sharding import (
     Partition,
     ShardedIndexManager,
     ShardMergeError,
+    ShardPayload,
 )
 from repro.engine.stats import EngineStats, LatencyHistogram
 
 __all__ = [
+    "BACKENDS",
     "EngineFuture",
     "EngineStats",
     "GraphPartitioner",
@@ -132,10 +169,13 @@ __all__ = [
     "IndexSnapshot",
     "LatencyHistogram",
     "Partition",
+    "ProcessBackend",
+    "ProcessBackendError",
     "QueryEngine",
     "QueryPlan",
     "ResultCache",
     "ShardMergeError",
+    "ShardPayload",
     "ShardedIndexManager",
     "SubproblemMemo",
     "plan_search",

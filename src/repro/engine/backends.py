@@ -1,0 +1,239 @@
+"""Execution backends: where engine work actually runs.
+
+The :class:`~repro.engine.executor.QueryEngine` always owns a bounded
+*thread* pool -- admission control, deadlines and cancellation live
+there, and for I/O-light interactive traffic (cache hits, planning,
+small searches) threads are the right tool.  But the CPU-heavy
+structural kernels (core decomposition, per-shard certification,
+CL-tree builds) serialise behind the GIL: a thread fan-out buys
+concurrency, not parallelism.  This module adds the **process
+backend** that the ROADMAP's "process-pool workers are now per-shard"
+follow-on asks for:
+
+* :class:`ProcessBackend` -- a lazily started
+  ``concurrent.futures.ProcessPoolExecutor`` (``fork`` context where
+  available, so workers start fast and inherit the interpreter state)
+  with per-job child-side timing, so fan-out skew stats stay exact and
+  the parent can report IPC overhead (round-trip minus child compute)
+  separately;
+* module-level **job functions** -- process jobs must be picklable,
+  so the work units ship as top-level functions fed by pickled
+  :class:`~repro.graph.frozen.FrozenGraph` payloads:
+  :func:`shard_candidates_job` (one shard's certify/drop/classify
+  scan, the sharded query fan-out) and :func:`build_index_job` (a
+  full core + CL-tree build, the shard-parallel index construction);
+* a small **worker-side payload cache** keyed by
+  ``(graph, shard, version)`` -- repeated queries against an unchanged
+  shard skip both the unpickle and the shard-local core decomposition
+  in the worker.
+
+Choosing a backend
+==================
+
+``backend="thread"`` (default): lowest latency, shared memory, exact
+pre-PR behaviour.  Right for small graphs, cache-heavy interactive
+traffic, or single-core hosts.  ``backend="process"``: per-shard
+subqueries and CL-tree builds run in separate processes on frozen CSR
+snapshots -- real parallelism for CPU-bound structural work on
+multi-core hosts, at the cost of payload shipping (measured and
+reported as ``snapshot_build`` / ``shard_ipc`` in ``/api/metrics``).
+Results are identical either way (a tested invariant); every process
+failure falls back to in-process execution rather than failing the
+query.
+"""
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.core.cltree import build_cltree
+from repro.core.kcore import core_decomposition
+from repro.util.errors import EngineError, QueryTimeoutError
+
+BACKENDS = ("thread", "process")
+
+# Worker-side cache: payload key (manager epoch, name, shard, version)
+# -> (old_ids, global_degree, shard-local core numbers).  Bounded:
+# version churn on long-lived workers must not grow it without limit.
+_WORKER_CACHE = {}
+_WORKER_CACHE_MAX = 64
+
+
+class ProcessBackendError(EngineError):
+    """The process pool could not run a job (broken pool, unpicklable
+    payload); callers fall back to in-process execution."""
+
+
+def validate_backend(backend):
+    """Normalise and validate a backend name."""
+    if backend not in BACKENDS:
+        raise EngineError(
+            "unknown backend {!r}; choose from {}".format(
+                backend, BACKENDS))
+    return backend
+
+
+# ----------------------------------------------------------------------
+# job functions (top-level: process jobs must pickle by reference)
+# ----------------------------------------------------------------------
+
+def _timed_job(fn, args):
+    """Run ``fn(*args)`` and return ``(child_seconds, result)``."""
+    start = time.perf_counter()
+    result = fn(*args)
+    return time.perf_counter() - start, result
+
+
+def shard_candidates_job(key, blob, k):
+    """One shard's certify/drop/classify scan, in a worker process.
+
+    ``blob`` is the pickled ``(FrozenGraph, old_ids, global_degree)``
+    payload built by
+    :meth:`~repro.engine.sharding.ShardedIndexManager.shard_payload`;
+    ``key`` is its ``(manager epoch, graph, shard, version)`` identity,
+    so an unchanged shard is unpickled (and its shard-local core
+    numbers computed) once per worker, not once per query.  Returns plain
+    ``(certified, uncertain, dropped)`` containers in *global* vertex
+    ids -- the merge step rebuilds its
+    :class:`~repro.engine.sharding.ShardReport` from them.
+    """
+    entry = _WORKER_CACHE.get(key)
+    if entry is None:
+        frozen, old_ids, global_degree = pickle.loads(blob)
+        entry = (old_ids, global_degree, core_decomposition(frozen))
+        if len(_WORKER_CACHE) >= _WORKER_CACHE_MAX:
+            _WORKER_CACHE.clear()
+        _WORKER_CACHE[key] = entry
+    old_ids, global_degree, local_core = entry
+    certified = []
+    uncertain = {}
+    dropped = []
+    for new, old in enumerate(old_ids):
+        if local_core[new] >= k:
+            certified.append(old)
+            continue
+        degree = global_degree[new]
+        if degree < k:
+            dropped.append(old)
+        else:
+            uncertain[old] = degree
+    return certified, uncertain, dropped
+
+
+def build_index_job(frozen, core=None):
+    """Build ``(core numbers, CL-tree)`` over a frozen graph.
+
+    The returned tree's ``graph`` attribute still points at the frozen
+    snapshot; the parent rebinds it to the live graph object before
+    installing the snapshot (node structure, homed vertices and
+    inverted lists are graph-object independent).
+    """
+    if core is None:
+        core = core_decomposition(frozen)
+    tree = build_cltree(frozen, core=core)
+    return core, tree
+
+
+# ----------------------------------------------------------------------
+# the process pool
+# ----------------------------------------------------------------------
+
+class ProcessBackend:
+    """A lazily started process pool with per-job child timing.
+
+    Thin by design: admission control, deadlines and stats stay in the
+    :class:`~repro.engine.executor.QueryEngine`; this class only ships
+    picklable jobs and reports ``(results, child_seconds,
+    ipc_seconds)`` so the engine can separate compute from transport.
+    """
+
+    def __init__(self, workers):
+        self.workers = max(1, int(workers))
+        self._pool = None
+
+    def _ensure(self):
+        if self._pool is None:
+            try:
+                import multiprocessing
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX hosts
+                context = None
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context)
+        return self._pool
+
+    def run_jobs(self, jobs, timeout=None):
+        """Run ``(fn, args)`` jobs concurrently in worker processes.
+
+        Returns ``(results, child_seconds, ipc_seconds)`` in job
+        order; ``child_seconds[i]`` is job ``i``'s in-worker compute
+        time, ``ipc_seconds[i]`` the rest of its round-trip (queueing
+        + pickling both ways).  Raises :class:`ProcessBackendError` on
+        a broken/unpicklable pool (callers fall back in-process) and
+        :class:`QueryTimeoutError` when ``timeout`` elapses.
+        """
+        pool = self._ensure()
+        submitted = []
+        try:
+            for fn, args in jobs:
+                submitted.append((time.perf_counter(),
+                                  pool.submit(_timed_job, fn, args)))
+        except (BrokenProcessPool, RuntimeError, pickle.PicklingError,
+                TypeError, AttributeError) as exc:
+            self._break()
+            raise ProcessBackendError(
+                "process pool submission failed: {}".format(exc)) from exc
+        results = []
+        child_seconds = []
+        ipc_seconds = []
+        deadline = (time.perf_counter() + timeout
+                    if timeout is not None else None)
+        for i, (started, future) in enumerate(submitted):
+            budget = None
+            if deadline is not None:
+                budget = max(deadline - time.perf_counter(), 0.0)
+            try:
+                child, result = future.result(budget)
+            except _FutureTimeout:
+                for _, later in submitted[i:]:
+                    later.cancel()
+                raise QueryTimeoutError(
+                    "process fan-out did not finish within "
+                    "{:.3f}s".format(timeout)) from None
+            except BrokenProcessPool as exc:
+                self._break()
+                raise ProcessBackendError(
+                    "process pool died mid fan-out: {}".format(exc)
+                ) from exc
+            except pickle.PicklingError as exc:
+                # An unpicklable payload surfaces on the future, not
+                # at submit (the pool pickles in a feeder thread).
+                raise ProcessBackendError(
+                    "process job payload did not pickle: {}".format(exc)
+                ) from exc
+            roundtrip = time.perf_counter() - started
+            results.append(result)
+            child_seconds.append(child)
+            ipc_seconds.append(max(roundtrip - child, 0.0))
+        return results, child_seconds, ipc_seconds
+
+    def run_build(self, frozen, core=None):
+        """One :func:`build_index_job` in a worker; returns
+        ``(core, cltree, child_seconds)``."""
+        results, child_seconds, _ = self.run_jobs(
+            [(build_index_job, (frozen, core))])
+        core, tree = results[0]
+        return core, tree, child_seconds[0]
+
+    def _break(self):
+        """Drop a broken pool so the next use starts a fresh one."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
+    def close(self):
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)

@@ -30,8 +30,16 @@ algorithms (the Polynesia argument in PAPERS.md):
   coordinator *is* the only worker (no nested-submission deadlock).
   :meth:`QueryEngine.search_sharded` is the full partition-parallel
   search path (see :mod:`repro.engine.sharding`);
+* an **execution backend** (``backend="thread" | "process"``, see
+  :mod:`repro.engine.backends`) -- with the process backend,
+  :meth:`QueryEngine.map_shard_jobs` ships per-shard subqueries (and
+  the index manager's CL-tree builds) to a ``multiprocessing`` pool
+  as pickled frozen-graph payloads, dodging the GIL for CPU-bound
+  structural work; any pool failure falls back to in-process
+  execution with identical results;
 * :class:`~repro.engine.stats.EngineStats` latency histograms behind
-  ``/api/metrics``, including per-shard fan-out latency/skew.
+  ``/api/metrics``, including per-shard fan-out latency/skew and the
+  process backend's ``snapshot_build`` / ``shard_ipc`` overheads.
 
 Synchronous callers (library users, the batch harness) use
 :meth:`QueryEngine.execute`; the server uses :meth:`submit` /
@@ -42,6 +50,11 @@ import queue
 import threading
 import time
 
+from repro.engine.backends import (
+    ProcessBackend,
+    ProcessBackendError,
+    validate_backend,
+)
 from repro.engine.cache import ResultCache, SubproblemMemo
 from repro.engine.index_manager import IndexManager
 from repro.engine.stats import EngineStats
@@ -154,7 +167,7 @@ class QueryEngine:
 
     def __init__(self, explorer=None, workers=2, max_queue=64,
                  default_timeout=None, cache_size=512,
-                 index_manager=None, memo_size=128):
+                 index_manager=None, memo_size=128, backend="thread"):
         if workers < 1:
             raise ValueError("workers must be positive")
         if max_queue < 1:
@@ -163,6 +176,7 @@ class QueryEngine:
         self.workers = workers
         self.max_queue = max_queue
         self.default_timeout = default_timeout
+        self.backend = validate_backend(backend)
         self.indexes = index_manager if index_manager is not None \
             else IndexManager()
         self.cache = ResultCache(cache_size)
@@ -173,14 +187,21 @@ class QueryEngine:
         self._in_flight = 0
         self._lifecycle = threading.Lock()
         self._shutdown = False
+        self._process = None
+        if self.backend == "process":
+            self._process = ProcessBackend(workers)
+            # Index builds (including every per-shard CL-tree) route
+            # through the pool: an upload of a sharded graph builds
+            # all shard trees genuinely in parallel.
+            self.indexes.build_executor = self._build_in_process
         self.indexes.subscribe(self._on_index_event)
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def configure(self, workers=None, max_queue=None,
-                  default_timeout=None):
-        """Adjust pool sizing before the first submission."""
+                  default_timeout=None, backend=None):
+        """Adjust pool sizing / backend before the first submission."""
         with self._lifecycle:
             if self._threads:
                 raise RuntimeError(
@@ -196,6 +217,15 @@ class QueryEngine:
                 self._queue = queue.Queue(max_queue)
             if default_timeout is not None:
                 self.default_timeout = default_timeout
+            if backend is not None and backend != self.backend:
+                self.backend = validate_backend(backend)
+                if self._process is not None:
+                    self._process.close()
+                    self._process = None
+                    self.indexes.build_executor = None
+                if self.backend == "process":
+                    self._process = ProcessBackend(self.workers)
+                    self.indexes.build_executor = self._build_in_process
         return self
 
     def _ensure_started(self):
@@ -218,6 +248,14 @@ class QueryEngine:
                 return
             self._shutdown = True
             threads = list(self._threads)
+            process, self._process = self._process, None
+        if process is not None:
+            process.close()
+            # Detach the build delegate (if it is still ours): a
+            # post-shutdown index build must run locally, not
+            # resurrect a pool nothing would ever close.
+            if self.indexes.build_executor == self._build_in_process:
+                self.indexes.build_executor = None
         for _ in threads:
             self._queue.put(_SHUTDOWN)
         if wait:
@@ -406,6 +444,58 @@ class QueryEngine:
             return time.perf_counter() - start, value
         return run
 
+    def map_shard_jobs(self, jobs, graph=None, op="shard"):
+        """Run picklable ``(fn, args)`` per-shard jobs on the process
+        backend; the GIL-free counterpart of :meth:`map_shards`.
+
+        With the thread backend (or when the process pool breaks or
+        the payload will not pickle) every job runs in-process through
+        the work-stealing thread fan-out instead -- results are
+        identical, only the parallelism differs.  Per-shard child
+        compute times feed the same fan-out/skew stats as the thread
+        path; transport overhead (round-trip minus child compute) is
+        recorded separately under the ``shard_ipc`` latency op.
+        """
+        pool = self._process
+        if pool is not None:
+            try:
+                results, child_seconds, ipc_seconds = pool.run_jobs(
+                    jobs, timeout=self.default_timeout)
+            except ProcessBackendError:
+                self.stats.count("process_fallbacks")
+            else:
+                with_stats = zip(child_seconds, ipc_seconds)
+                for child, ipc in with_stats:
+                    self.stats.observe(op, child)
+                    self.stats.observe("shard_ipc", ipc)
+                if graph is not None:
+                    self.stats.observe_fanout(graph, child_seconds)
+                return results
+        fns = [lambda fn=fn, args=args: fn(*args) for fn, args in jobs]
+        return self.map_shards(fns, graph=graph, op=op)[0]
+
+    def _build_in_process(self, graph, core=None):
+        """Index-build executor wired into the
+        :class:`~repro.engine.index_manager.IndexManager` when the
+        process backend is active: freeze the graph, build core
+        numbers + CL-tree in a worker process, rebind the tree to the
+        live graph object.  Raises on any pool failure; the manager
+        falls back to the in-process build."""
+        from repro.graph.frozen import FrozenGraph
+
+        start = time.perf_counter()
+        frozen = FrozenGraph.from_graph(graph)
+        freeze_seconds = time.perf_counter() - start
+        self.stats.observe("snapshot_build", freeze_seconds)
+        core, cltree, child_seconds = self._process.run_build(
+            frozen, core)
+        cltree.graph = graph
+        total = time.perf_counter() - start
+        self.stats.observe(
+            "index_build_ipc",
+            max(total - freeze_seconds - child_seconds, 0.0))
+        return core, cltree
+
     def search_sharded(self, name, algorithm, q, k, keywords=None):
         """Partition-parallel execution of one shardable search:
         fan per-shard structural subqueries out over the pool, merge
@@ -473,6 +563,9 @@ class QueryEngine:
         """Everything ``/api/metrics`` reports about the engine."""
         doc = self.stats.snapshot()
         doc.update({
+            "backend": self.backend,
+            "index_build_fallbacks": getattr(self.indexes,
+                                             "build_fallbacks", 0),
             "workers": self.workers,
             "started": bool(self._threads),
             "queue_depth": self.queue_depth,

@@ -73,6 +73,17 @@ class IndexManager:
         self._entries = {}
         self._lock = threading.RLock()
         self._subscribers = []
+        # Optional build delegate ``(graph, core=None) -> (core,
+        # cltree)``; the engine's process backend installs one so
+        # CL-tree builds (every graph *and* every shard entry, so an
+        # upload builds all shard trees concurrently) run in worker
+        # processes instead of under the GIL.  Any executor failure
+        # falls back to the in-process build below.
+        self.build_executor = None
+        # How many delegated builds failed and fell back locally --
+        # surfaced through the engine snapshot so a permanently broken
+        # process-backend build path cannot degrade silently.
+        self.build_fallbacks = 0
 
     # ------------------------------------------------------------------
     # registration
@@ -235,9 +246,25 @@ class IndexManager:
             entry = self._entry(name)
             graph = entry.graph
             version = entry.version
+            cached_core = entry.core
         start = time.perf_counter()
-        core = self.core(name)
-        cltree = build_cltree(graph, core=core)
+        core = cltree = None
+        executor = self.build_executor
+        if executor is not None:
+            try:
+                # Delegated (process-backend) build: core numbers are
+                # computed in the worker too when not already cached,
+                # so a cold build pays nothing GIL-bound here.
+                core, cltree = executor(graph, core=cached_core)
+            except Exception:
+                # Deliberately broad: whatever broke the delegate
+                # (pool death, pickling, timeout), the build must
+                # still succeed locally -- but visibly.
+                self.build_fallbacks += 1
+                core = cltree = None
+        if cltree is None:
+            core = self.core(name)
+            cltree = build_cltree(graph, core=core)
         build_seconds = time.perf_counter() - start
         # Compatibility: callers historically read build time off the
         # tree itself.
@@ -249,6 +276,8 @@ class IndexManager:
             if entry is not None and entry.version == version:
                 entry.snapshot = snap
                 entry.build_count += 1
+                if entry.core is None:
+                    entry.core = core
         return snap
 
     def install(self, name, cltree, core=None, build_seconds=0.0):

@@ -53,13 +53,33 @@ and combine at the engine layer:
   which re-verifies the keyword constraints on the full graph).  With
   ``shards=1`` nothing here runs at all -- the engine keeps the exact
   pre-sharding code path.
+
+* **process-backend fan-out** -- with
+  ``QueryEngine(backend="process")`` the per-shard scans leave the
+  parent interpreter entirely: :class:`ShardPayload` caches, per
+  ``(graph, version, shard)``, a pre-pickled CSR
+  :class:`~repro.graph.frozen.FrozenGraph` snapshot of the shard (plus
+  id map and global degrees), and
+  :func:`~repro.engine.backends.shard_candidates_job` answers the
+  certify/drop/classify probe in a ``multiprocessing`` worker.  The
+  payload is serialised once per shard version -- not per query -- and
+  maintenance invalidates it exactly when it bumps the shard's index
+  version.  Merge, cascade drain and boundary re-verification stay in
+  the parent, so sharded/process results remain byte-identical to
+  unsharded/thread execution.
 """
+
+import itertools
+import pickle
+import time
 
 from repro.core.acq import acq_search
 from repro.core.community import Community
 from repro.core.kcore import connected_k_core, core_decomposition
+from repro.engine.backends import shard_candidates_job
 from repro.engine.index_manager import IndexManager
 from repro.engine.plans import FANOUT_ALGORITHMS
+from repro.graph.frozen import FrozenGraph
 from repro.util.errors import (
     CExplorerError,
     QueryCancelledError,
@@ -236,6 +256,29 @@ class ShardReport:
         self.dropped = dropped        # list: global degree < k
 
 
+class ShardPayload:
+    """One shard's frozen snapshot, ready to ship to a worker process.
+
+    ``blob`` is the pre-pickled ``(FrozenGraph, old_ids,
+    global_degree)`` triple -- serialised **once per shard version**
+    by :meth:`ShardedIndexManager.shard_payload` and reused by every
+    query until maintenance bumps the shard, so the per-query IPC cost
+    is one bytes copy, not a graph traversal.  ``key`` is the
+    ``(manager epoch, graph, shard, version)`` identity workers cache
+    their unpickled copy (and its shard-local core numbers) under --
+    the epoch keeps same-named graphs of different managers apart when
+    jobs run inline in a shared parent process.
+    """
+
+    __slots__ = ("key", "version", "blob", "build_seconds")
+
+    def __init__(self, key, version, blob, build_seconds):
+        self.key = key
+        self.version = version
+        self.blob = blob
+        self.build_seconds = build_seconds
+
+
 class _ShardSet:
     """Partition bookkeeping for one sharded graph."""
 
@@ -260,9 +303,21 @@ class ShardedIndexManager(IndexManager):
     ``shards=1`` (the default) behaviour is exactly the parent's.
     """
 
+    # Distinguishes payloads of same-named graphs held by *different*
+    # managers: worker-side caches key on the payload identity, and an
+    # in-process (fallback) execution shares one cache across every
+    # engine in the parent, so (name, shard, version) alone could
+    # collide.
+    _payload_epochs = itertools.count(1)
+
     def __init__(self):
         super().__init__()
         self._parts = {}
+        # (name, shard) -> ShardPayload, valid while the shard entry's
+        # version matches; one latest payload per shard, so the cache
+        # is bounded by the number of live shard entries.
+        self._payloads = {}
+        self._payload_epoch = next(self._payload_epochs)
 
     # ------------------------------------------------------------------
     # registration
@@ -306,6 +361,9 @@ class ShardedIndexManager(IndexManager):
     def unregister(self, name):
         with self._lock:
             old = self._parts.pop(name, None)
+            self._payloads = {key: payload
+                              for key, payload in self._payloads.items()
+                              if key[0] != name}
         if old is not None:
             for entry in old.names:
                 super().unregister(entry)
@@ -379,6 +437,61 @@ class ShardedIndexManager(IndexManager):
                 uncertain[old] = degree
         return ShardReport(shard, certified, uncertain, dropped)
 
+    def shard_payload(self, name, shard):
+        """The pickled-frozen snapshot of one shard, cached per
+        ``(graph, version, shard)``.
+
+        Returns ``(payload, fresh)`` where ``fresh`` says the snapshot
+        was (re)built by this call -- the engine records the build
+        time under the ``snapshot_build`` latency op.  The payload
+        bundles everything :func:`~repro.engine.backends.
+        shard_candidates_job` needs to answer a level-``k`` probe in a
+        worker process: the shard subgraph as a CSR
+        :class:`~repro.graph.frozen.FrozenGraph`, the local-to-global
+        id map, and the owned vertices' *global* degrees (an edge
+        update always bumps both endpoint owners' shard versions, so a
+        version-matched payload never carries stale degrees).
+        """
+        start = time.perf_counter()
+        with self._lock:
+            part = self._parts.get(name)
+            if part is None:
+                raise CExplorerError(
+                    "graph {!r} is not sharded".format(name))
+            entry_name = part.names[shard]
+            version = self.version(entry_name)
+            cached = self._payloads.get((name, shard))
+            if cached is not None and cached.version == version:
+                return cached, False
+            # Snapshot under the lock: maintenance routing mutates the
+            # shard subgraphs under the same lock, so the frozen CSR
+            # and the degree array are a consistent cut of one state.
+            sub = part.graphs[shard]
+            mapping = part.old_to_new[shard]
+            graph = self.graph(name)
+            frozen = FrozenGraph.from_graph(sub)
+            old_ids = [0] * len(mapping)
+            for old, new in mapping.items():
+                old_ids[new] = old
+            global_degree = [graph.degree(old) for old in old_ids]
+        # The (immutable) snapshot pickles outside the lock.
+        blob = pickle.dumps((frozen, old_ids, global_degree),
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        payload = ShardPayload(
+            (self._payload_epoch, name, shard, version), version, blob,
+            time.perf_counter() - start)
+        with self._lock:
+            fresh = self._parts.get(name)
+            # Publish only when the snapshot still describes the live
+            # shard set at the version it was cut at; an unpublished
+            # (raced) payload is still a consistent snapshot of the
+            # state it was cut from, so the in-flight query may use
+            # it -- the same either-state semantics the thread path
+            # has for queries concurrent with mutations.
+            if fresh is part and self.version(entry_name) == version:
+                self._payloads[(name, shard)] = payload
+        return payload, True
+
     # ------------------------------------------------------------------
     # maintenance routing
     # ------------------------------------------------------------------
@@ -403,26 +516,30 @@ class ShardedIndexManager(IndexManager):
         return maintainer
 
     def _route_update(self, name, event):
+        # The shard-subgraph mutation happens under the manager lock
+        # so :meth:`shard_payload` (which snapshots a subgraph under
+        # the same lock) can never observe a half-applied update and
+        # freeze a torn CSR.
         with self._lock:
             part = self._parts.get(name)
-        if part is None:
-            return
-        u, v = event["edge"]
-        partition = part.partition
-        graph = self.graph(name)
-        adopted = set()
-        for w in (u, v):
-            if w >= len(partition.assignment):
-                adopted |= self._adopt_vertex(part, graph, w)
-        su, sv = partition.owner(u), partition.owner(v)
-        if su == sv:
-            sub = part.graphs[su]
-            mu = part.old_to_new[su][u]
-            mv = part.old_to_new[su][v]
-            if event["kind"] == "insert":
-                sub.add_edge(mu, mv)
-            elif sub.has_edge(mu, mv):
-                sub.remove_edge(mu, mv)
+            if part is None:
+                return
+            u, v = event["edge"]
+            partition = part.partition
+            graph = self.graph(name)
+            adopted = set()
+            for w in (u, v):
+                if w >= len(partition.assignment):
+                    adopted |= self._adopt_vertex(part, graph, w)
+            su, sv = partition.owner(u), partition.owner(v)
+            if su == sv:
+                sub = part.graphs[su]
+                mu = part.old_to_new[su][u]
+                mv = part.old_to_new[su][v]
+                if event["kind"] == "insert":
+                    sub.add_edge(mu, mv)
+                elif sub.has_edge(mu, mv):
+                    sub.remove_edge(mu, mv)
         # A cross-shard edge lives in no shard subgraph; the owning
         # shards' certificates stay sound (their subgraphs are still
         # subgraphs of G), but their boundary changed, so their
@@ -541,12 +658,34 @@ def sharded_structural_community(engine, name, q, k):
         # Raced a re-registration down to shards=1: answer exactly,
         # just without the fan-out.
         return connected_k_core(graph, q, k)
-    jobs = [
-        (lambda shard=shard: indexes.shard_candidates(name, shard, k))
-        for shard in range(partition.shards)
-    ]
     try:
-        reports, _ = engine.map_shards(jobs, graph=name)
+        if getattr(engine, "backend", "thread") == "process":
+            # GIL-free fan-out: ship each shard's cached frozen
+            # snapshot to the process pool; workers certify against
+            # shard-local CSR core numbers and return plain
+            # containers in global ids.
+            jobs = []
+            for shard in range(partition.shards):
+                payload, fresh = indexes.shard_payload(name, shard)
+                if fresh:
+                    engine.stats.observe("snapshot_build",
+                                         payload.build_seconds)
+                jobs.append((shard_candidates_job,
+                             (payload.key, payload.blob, k)))
+            raw = engine.map_shard_jobs(jobs, graph=name)
+            reports = [
+                ShardReport(shard, set(certified), dict(uncertain),
+                            list(dropped))
+                for shard, (certified, uncertain, dropped)
+                in enumerate(raw)
+            ]
+        else:
+            jobs = [
+                (lambda shard=shard:
+                 indexes.shard_candidates(name, shard, k))
+                for shard in range(partition.shards)
+            ]
+            reports, _ = engine.map_shards(jobs, graph=name)
         extra = range(len(partition.assignment), graph.vertex_count)
         component = merge_shard_reports(graph, reports, q, k,
                                         extra_vertices=extra)

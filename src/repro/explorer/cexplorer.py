@@ -75,17 +75,22 @@ class CExplorer:
     """
 
     def __init__(self, profiles=None, cache_size=256, workers=2,
-                 max_queue=64):
+                 max_queue=64, backend="thread"):
         self._graphs = {}
         self._current = None
         self.profiles = profiles if profiles is not None else ProfileStore()
         # Sharding-aware: graphs registered with shards=1 (the
         # default) behave exactly as under the plain IndexManager.
         self.indexes = ShardedIndexManager()
+        # ``backend="process"`` runs shard subqueries and CL-tree
+        # builds in a multiprocessing pool over frozen CSR snapshots
+        # (see repro.engine.backends); results are identical to the
+        # default thread backend.
         self.engine = QueryEngine(explorer=self, workers=workers,
                                   max_queue=max_queue,
                                   cache_size=cache_size,
-                                  index_manager=self.indexes)
+                                  index_manager=self.indexes,
+                                  backend=backend)
         # The engine owns the result cache; exposed here because the
         # facade has always published ``explorer.cache``.
         self.cache = self.engine.cache
@@ -328,6 +333,12 @@ class CExplorer:
             if plan.use_index and algo.name.startswith("acq") \
                     and "index" not in params:
                 params["index"] = self.index()
+            elif algo.name == "global" and "core" not in params:
+                # Global's answer is the connected k-core component;
+                # hand it the versioned decomposition (cached per
+                # graph version, patched by maintenance) so it skips
+                # the O(n + m) whole-graph peel per query.
+                params["core"] = self.indexes.core(name)
             result = algo(graph, q, k, keywords=keywords, **params)
         if cache_key is not None:
             footprint = {v for c in result for v in c}

@@ -1,10 +1,14 @@
 """Attributed-graph substrate.
 
 The paper's server owns its own graph database (Figure 3); this
-subpackage is our equivalent.  :class:`AttributedGraph` is the single
-in-memory representation every algorithm in the library runs on:
-undirected simple graphs whose vertices carry a label (e.g. an author
-name) and a set of keywords (Section 3.2 of the paper, ``W(v)``).
+subpackage is our equivalent.  :class:`AttributedGraph` is the
+*mutable* in-memory representation every algorithm in the library runs
+on: undirected simple graphs whose vertices carry a label (e.g. an
+author name) and a set of keywords (Section 3.2 of the paper,
+``W(v)``).  :class:`FrozenGraph` (:func:`freeze`) is its immutable
+CSR counterpart: a flat-array snapshot the structural kernels walk
+without set lookups and the process execution backend ships across
+process boundaries as one compact pickle.
 """
 
 from repro.graph.attributed import AttributedGraph
@@ -13,6 +17,7 @@ from repro.graph.export import (
     write_community_csv,
     write_graphml,
 )
+from repro.graph.frozen import FrozenGraph, freeze
 from repro.graph.io import (
     load_graph,
     read_edge_list,
@@ -25,7 +30,9 @@ from repro.graph.views import SubgraphView
 
 __all__ = [
     "AttributedGraph",
+    "FrozenGraph",
     "SubgraphView",
+    "freeze",
     "load_graph",
     "read_edge_list",
     "read_graph_json",

@@ -21,6 +21,13 @@ Endpoints (all JSON; POST bodies are JSON documents):
 ``GET  /api/metrics``     operational metrics (requests, cache, uptime)
 ========================  ====================================================
 
+``/api/metrics`` embeds the full engine snapshot: the active execution
+``backend`` (``thread`` or ``process``), per-shard fan-out latency and
+skew, and -- under the process backend -- ``snapshot_build`` (frozen
+CSR payload construction), ``shard_ipc`` and ``index_build_ipc``
+latency ops, so payload shipping overhead is observable next to the
+compute it buys.
+
 ``/api/search`` accepts an optional ``"session"`` id; queries are
 recorded into that exploration session and the response echoes the id
 (a fresh one is minted when absent), so the browser can show a history

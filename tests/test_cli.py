@@ -114,3 +114,20 @@ class TestIndexProfile:
         assert main(["profile", "--name", "Jim Gray", "--json"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["name"] == "Jim Gray"
+
+
+class TestBackendFlag:
+    def test_process_backend_matches_thread(self, dblp_file, capsys):
+        args = ["search", "--graph", dblp_file, "--vertex", "Jim Gray",
+                "-k", "3", "--json", "--shards", "2"]
+        assert main(args + ["--backend", "thread"]) == 0
+        thread_out = json.loads(capsys.readouterr().out)
+        assert main(args + ["--backend", "process", "--workers",
+                            "2"]) == 0
+        process_out = json.loads(capsys.readouterr().out)
+        assert process_out == thread_out
+
+    def test_unknown_backend_rejected(self, dblp_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["search", "--graph", dblp_file, "--vertex",
+                  "Jim Gray", "--backend", "fibers"])
