@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Documentation link checker (the CI docs job).
+
+Scans the repo's markdown docs for relative links and verifies every
+target exists, so README/ARCHITECTURE references cannot rot silently.
+External (http/https/mailto) links and intra-page anchors are skipped
+-- CI must not depend on network reachability.
+
+Usage: python scripts/check_docs.py [file.md ...]
+Defaults to README.md and everything under docs/.
+"""
+
+import glob
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# [text](target) -- excluding images' inner ! is irrelevant, same rule.
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(path):
+    """Yield (line_number, target) for every broken relative link."""
+    base = os.path.dirname(path)
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            for target in LINK.findall(line):
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(base, target.split("#", 1)[0]))
+                if not os.path.exists(resolved):
+                    yield lineno, target
+
+
+def main(argv):
+    files = argv or sorted(
+        [os.path.join(REPO_ROOT, "README.md")]
+        + glob.glob(os.path.join(REPO_ROOT, "docs", "**", "*.md"),
+                    recursive=True))
+    broken = 0
+    for path in files:
+        if not os.path.exists(path):
+            print("MISSING DOC: {}".format(path))
+            broken += 1
+            continue
+        for lineno, target in check_file(path):
+            print("{}:{}: broken link -> {}".format(
+                os.path.relpath(path, REPO_ROOT), lineno, target))
+            broken += 1
+    if broken:
+        print("{} broken link(s)".format(broken))
+        return 1
+    print("docs ok: {} file(s), all relative links resolve".format(
+        len(files)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

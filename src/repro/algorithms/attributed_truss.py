@@ -62,11 +62,11 @@ def truss_reduce(graph, candidates, k):
     return {v for v, nbrs in adj.items() if nbrs}
 
 
-def _verify_truss(query, candidates):
-    """Truss-cohesive community of the query vertices inside
-    ``candidates``, or None."""
-    graph, k, qs = query.graph, query.k, query.query_vertices
-    survivors = truss_reduce(graph, candidates, k)
+def _query_component(query, survivors):
+    """The query vertices' component within ``survivors``, or None
+    when any query vertex falls outside the survivors or the
+    component."""
+    graph, qs = query.graph, query.query_vertices
     if not all(q in survivors for q in qs):
         return None
     comp = {qs[0]}
@@ -82,17 +82,46 @@ def _verify_truss(query, candidates):
     return comp
 
 
-def attributed_truss_search(graph, q, k, keywords=None):
+def _verify_truss(query, candidates):
+    """Truss-cohesive community of the query vertices inside
+    ``candidates``, or None."""
+    survivors = truss_reduce(query.graph, candidates, query.k)
+    return _query_component(query, survivors)
+
+
+def _base_from_edges(query, edges):
+    """The structural base derived from a precomputed k-truss edge set.
+
+    ``edges`` must be the exact global k-truss edge set (the engine's
+    sharded fan-out produces it); the survivors are its endpoints and
+    the base is the query vertex's component within them -- exactly
+    what ``_verify_truss(query, graph.vertices())`` computes from
+    scratch.
+    """
+    survivors = set()
+    for u, v in edges:
+        survivors.add(u)
+        survivors.add(v)
+    return _query_component(query, survivors)
+
+
+def attributed_truss_search(graph, q, k, keywords=None, base_edges=None):
     """Attributed truss community (ATC-style) of ``q``.
 
     Returns communities whose induced subgraph is a connected k-truss
     containing ``q`` and whose shared keyword set (within ``S``) has
     maximal size -- ACQ's Problem 1 with the cohesiveness swapped.
+    ``base_edges`` optionally supplies the precomputed global k-truss
+    edge set (the sharded fan-out's merge product), replacing the
+    whole-graph truss reduction of the structural phase.
     """
     if k < 2:
         raise QueryError("truss order k must be >= 2")
     query = AcqQuery(graph, q, k, keywords)
-    base = _verify_truss(query, graph.vertices())
+    if base_edges is None:
+        base = _verify_truss(query, graph.vertices())
+    else:
+        base = _base_from_edges(query, base_edges)
     if base is None:
         return []
     by_kw = {}

@@ -6,15 +6,59 @@ which every edge participates in at least ``k - 2`` triangles.  The
 truss-based community search built on it lives in
 :mod:`repro.algorithms.truss_search`; this module provides the
 decomposition substrate.
+
+Support counting has a CSR fast path: over a
+:class:`~repro.graph.frozen.FrozenGraph` the per-vertex neighbour
+lists are sorted flat-array slices, so each edge's triangle count is a
+sorted-merge intersection over two contiguous runs instead of hash
+probes into scattered set buckets.  That is the kernel the engine's
+process backend runs per shard (see
+:func:`repro.engine.backends.shard_truss_job`).
 """
+
+
+def _edge_support_csr(graph):
+    """Support counting over a frozen CSR graph (sorted-merge kernel).
+
+    Each undirected edge ``(u, v)`` with ``u < v`` is visited once from
+    ``u``'s row; the triangle count is the size of the sorted-run
+    intersection of the two neighbourhoods.
+    """
+    indptr, indices = graph.csr()
+    support = {}
+    n = len(indptr) - 1
+    for u in range(n):
+        u_start, u_end = indptr[u], indptr[u + 1]
+        for i in range(u_start, u_end):
+            v = indices[i]
+            if v <= u:
+                continue
+            v_start, v_end = indptr[v], indptr[v + 1]
+            a, b = u_start, v_start
+            count = 0
+            while a < u_end and b < v_end:
+                x, y = indices[a], indices[b]
+                if x < y:
+                    a += 1
+                elif y < x:
+                    b += 1
+                else:
+                    count += 1
+                    a += 1
+                    b += 1
+            support[(u, v)] = count
+    return support
 
 
 def edge_support(graph, subset=None):
     """Number of triangles through each edge.
 
     Returns ``{(u, v): support}`` with ``u < v``.  ``subset`` restricts
-    the computation to the induced subgraph on those vertices.
+    the computation to the induced subgraph on those vertices.  Frozen
+    (CSR) graphs take the sorted-merge kernel when unrestricted.
     """
+    if subset is None and hasattr(graph, "csr"):
+        return _edge_support_csr(graph)
     members = set(subset) if subset is not None else None
 
     def nbrs(v):
@@ -36,15 +80,18 @@ def edge_support(graph, subset=None):
     return support
 
 
-def truss_decomposition(graph):
+def truss_decomposition(graph, support=None):
     """Truss number of every edge: ``{(u, v): t}`` with u < v.
 
     Edge e has truss number t when e belongs to the t-truss but not the
     (t+1)-truss.  Peeling follows the standard algorithm: repeatedly
     remove the edge of minimum support, decrementing the support of the
     edges that formed triangles with it.  Isolated edges get truss 2.
+    ``support`` optionally reuses a precomputed :func:`edge_support`
+    map (it is consumed destructively).
     """
-    support = edge_support(graph)
+    if support is None:
+        support = edge_support(graph)
     if not support:
         return {}
     # Live adjacency we can shrink as edges are peeled.

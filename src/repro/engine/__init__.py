@@ -34,11 +34,14 @@ The modules
 
 ``index_manager``
     :class:`~repro.engine.index_manager.IndexManager`: explicit
-    CL-tree/k-core lifecycle -- build on upload, eagerly, or in the
-    background; versioned immutable snapshots; invalidation hooks
-    wired into :class:`~repro.core.maintenance.CoreMaintainer` so
-    incremental edge updates bump the version and selectively evict
-    cached results.
+    CL-tree/k-core/truss lifecycle -- build on upload, eagerly, or in
+    the background; versioned immutable snapshots (the truss index is
+    versioned independently); invalidation hooks wired into
+    :class:`~repro.core.maintenance.CoreMaintainer` and
+    :class:`~repro.core.truss_maintenance.TrussMaintainer` so
+    incremental edge updates bump the versions and selectively evict
+    cached results -- with both maintainers attached, even k-truss/ATC
+    entries survive updates disjoint from their footprint.
 
 ``plans``
     :func:`~repro.engine.plans.plan_search`: picks the CS strategy
@@ -56,9 +59,11 @@ The modules
     :class:`~repro.engine.sharding.GraphPartitioner` (deterministic
     hash or greedy edge-cut placement),
     :class:`~repro.engine.sharding.ShardedIndexManager` (one versioned
-    CL-tree/k-core index per shard, maintenance routed to the owning
-    shard only), and the exact fan-out/merge query path behind
-    :meth:`~repro.engine.executor.QueryEngine.search_sharded`.
+    CL-tree/k-core/truss index per shard, maintenance routed to the
+    owning shard only), and the exact fan-out/merge query paths behind
+    :meth:`~repro.engine.executor.QueryEngine.search_sharded` -- the
+    k-core family merges certified vertices, the truss family merges
+    certified edges and peels only the uncertain/cut remainder.
 
 ``backends``
     Execution backends.  :class:`~repro.engine.backends.ProcessBackend`

@@ -50,6 +50,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 from repro.core.cltree import build_cltree
 from repro.core.kcore import core_decomposition
+from repro.core.ktruss import truss_decomposition
 from repro.util.errors import EngineError, QueryTimeoutError
 
 BACKENDS = ("thread", "process")
@@ -120,6 +121,41 @@ def shard_candidates_job(key, blob, k):
         else:
             uncertain[old] = degree
     return certified, uncertain, dropped
+
+
+def shard_truss_job(key, blob, k):
+    """One shard's truss certify/classify scan, in a worker process.
+
+    ``blob`` is the same pre-pickled ``(FrozenGraph, old_ids,
+    global_degree)`` payload the core path ships; the worker runs the
+    CSR support-counting kernel plus a truss decomposition over the
+    frozen shard (cached per payload identity, so an unchanged shard
+    pays once per worker).  Returns ``(certified, uncertain)`` edge
+    lists in *global* vertex ids: ``certified`` edges have shard-local
+    truss >= k (hence global truss >= k by subgraph monotonicity);
+    ``uncertain`` are the shard's remaining edges, which the engine's
+    merge peels with exact global supports.
+    """
+    cache_key = (key, "truss")
+    entry = _WORKER_CACHE.get(cache_key)
+    if entry is None:
+        frozen, old_ids, _ = pickle.loads(blob)
+        entry = (old_ids, truss_decomposition(frozen),
+                 list(frozen.edges()))
+        if len(_WORKER_CACHE) >= _WORKER_CACHE_MAX:
+            _WORKER_CACHE.clear()
+        _WORKER_CACHE[cache_key] = entry
+    old_ids, local_truss, local_edges = entry
+    certified = []
+    uncertain = []
+    for u, v in local_edges:
+        a, b = old_ids[u], old_ids[v]
+        edge = (a, b) if a < b else (b, a)
+        if local_truss.get((u, v), 0) >= k:
+            certified.append(edge)
+        else:
+            uncertain.append(edge)
+    return certified, uncertain
 
 
 def build_index_job(frozen, core=None):
@@ -234,6 +270,7 @@ class ProcessBackend:
             pool.shutdown(wait=False)
 
     def close(self):
+        """Shut the pool down without waiting for stragglers."""
         pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=False)

@@ -29,11 +29,22 @@ from collections import OrderedDict
 # update can only change results whose vertex set touches the edge's
 # endpoints, the promoted/demoted vertices, or those vertices'
 # neighbourhoods (component merges/splits pass through a changed
-# vertex's neighbours).  Triangle-based families (k-truss, atc) cascade
-# support changes along triangle connectivity, which the core
-# maintainer does not track, so their entries are always dropped.
+# vertex's neighbours).
 SELECTIVE_SAFE_ALGORITHMS = frozenset(
     {"acq", "acq-inc-s", "acq-inc-t", "global"})
+
+# Triangle-based families.  Their results cascade along triangle
+# connectivity, which only a
+# :class:`~repro.core.truss_maintenance.TrussMaintainer` tracks: when
+# an invalidation event carries the truss-affected vertex set, entries
+# whose footprint is disjoint from it survive; without one (core-only
+# maintenance) they are dropped conservatively, exactly as before.
+TRUSS_SELECTIVE_ALGORITHMS = frozenset({"k-truss", "atc"})
+
+# Invalidation reason labels reported by :meth:`ResultCache.stats` --
+# the metrics endpoint surfaces these so a deployment can see whether
+# evictions are precise cascades or blind evict-alls.
+INVALIDATION_REASONS = ("core-cascade", "truss-cascade", "evict-all")
 
 
 def _canonical(value):
@@ -89,6 +100,8 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.invalidations_by_reason = {
+            reason: 0 for reason in INVALIDATION_REASONS}
 
     def get(self, key, record_miss=True):
         """The cached value or ``None``; refreshes LRU recency.
@@ -117,30 +130,45 @@ class ResultCache:
                 self._data.popitem(last=False)
                 self.evictions += 1
 
-    def invalidate(self, graph_name=None, affected=None):
+    def invalidate(self, graph_name=None, affected=None,
+                   truss_affected=None):
         """Evict entries made stale by an update to ``graph_name``.
 
-        ``graph_name=None`` clears everything.  With an ``affected``
-        vertex set, entries survive only when their algorithm family
-        supports selective invalidation *and* their recorded footprint
-        is disjoint from ``affected``.  Returns the eviction count.
+        ``graph_name=None`` clears everything.  ``affected`` is the
+        core-cascade vertex region: entries of the minimum-degree
+        families survive when their recorded footprint is disjoint
+        from it.  ``truss_affected`` is the triangle-support cascade
+        region a :class:`~repro.core.truss_maintenance.TrussMaintainer`
+        reports: k-truss/ATC entries survive when their footprint is
+        disjoint from *it*.  A family whose region was not supplied is
+        dropped conservatively (the ``evict-all`` fallback, counted
+        per reason in :meth:`stats`).  Returns the eviction count.
         """
         with self._lock:
             stale = []
+            reasons = []
             for key, entry in self._data.items():
                 if graph_name is not None and key[0] != graph_name:
                     continue
+                algorithm = key[1]
+                if algorithm in TRUSS_SELECTIVE_ALGORITHMS:
+                    region, reason = truss_affected, "truss-cascade"
+                elif algorithm in SELECTIVE_SAFE_ALGORITHMS:
+                    region, reason = affected, "core-cascade"
+                else:
+                    region, reason = None, "evict-all"
                 # An *empty* footprint (a cached "no community"
                 # answer) must not count as disjoint: the update may
                 # be exactly what makes the query answerable.
-                if (affected is not None
-                        and key[1] in SELECTIVE_SAFE_ALGORITHMS
-                        and entry.vertices
-                        and entry.vertices.isdisjoint(affected)):
+                if (region is not None and entry.vertices
+                        and entry.vertices.isdisjoint(region)):
                     continue
                 stale.append(key)
-            for key in stale:
+                reasons.append(reason if region is not None
+                               else "evict-all")
+            for key, reason in zip(stale, reasons):
                 del self._data[key]
+                self.invalidations_by_reason[reason] += 1
             self.invalidations += len(stale)
             return len(stale)
 
@@ -159,6 +187,8 @@ class ResultCache:
             return counts
 
     def stats(self):
+        """Hit/miss/eviction counters for the metrics endpoint,
+        including per-reason invalidation counts."""
         with self._lock:
             total = self.hits + self.misses
             return {
@@ -169,6 +199,8 @@ class ResultCache:
                 "hit_rate": round(self.hits / total, 4) if total else 0.0,
                 "evictions": self.evictions,
                 "invalidations": self.invalidations,
+                "invalidations_by_reason":
+                    dict(self.invalidations_by_reason),
             }
 
 
@@ -225,6 +257,7 @@ class SubproblemMemo:
             return len(self._data)
 
     def stats(self):
+        """Occupancy and hit-rate counters for the metrics endpoint."""
         with self._lock:
             total = self.hits + self.misses
             return {

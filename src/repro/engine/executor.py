@@ -89,6 +89,9 @@ class EngineFuture:
 
     # -- state transitions (engine side) --------------------------------
     def set_running(self):
+        """Claim the job (run-once CAS); False when already claimed,
+        cancelled or done -- the work-stealing fan-out races workers
+        on exactly this call."""
         with self._lock:
             if self._state != _PENDING:
                 return False
@@ -96,6 +99,7 @@ class EngineFuture:
             return True
 
     def set_result(self, value):
+        """Resolve the future with ``value`` (no-op when cancelled)."""
         with self._lock:
             if self._state == _CANCELLED:
                 return
@@ -104,6 +108,8 @@ class EngineFuture:
         self._event.set()
 
     def set_exception(self, exc):
+        """Resolve the future with an exception (no-op when
+        cancelled)."""
         with self._lock:
             if self._state == _CANCELLED:
                 return
@@ -122,9 +128,11 @@ class EngineFuture:
         return True
 
     def cancelled(self):
+        """Whether the job was cancelled before it ran."""
         return self._state == _CANCELLED
 
     def done(self):
+        """Whether the job finished (result, exception or cancel)."""
         return self._state in (_DONE, _CANCELLED)
 
     def result(self, timeout=None):
@@ -439,6 +447,7 @@ class QueryEngine:
     @staticmethod
     def _timed(fn):
         def run():
+            """Execute ``fn`` and return ``(seconds, value)``."""
             start = time.perf_counter()
             value = fn()
             return time.perf_counter() - start, value
@@ -508,9 +517,17 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _on_index_event(self, name, version, affected):
-        """Index version bump: evict stale results and memo entries."""
-        self.cache.invalidate(name, affected=affected)
+    def _on_index_event(self, name, version, affected,
+                        truss_affected=None):
+        """Index version bump: evict stale results and memo entries.
+
+        ``affected`` scopes eviction for the minimum-degree families,
+        ``truss_affected`` (reported by an attached truss maintainer)
+        for the triangle families; either being ``None`` makes its
+        families' eviction conservative.
+        """
+        self.cache.invalidate(name, affected=affected,
+                              truss_affected=truss_affected)
         self.memo.invalidate(name)
 
     def _worker(self):
@@ -557,6 +574,7 @@ class QueryEngine:
     # ------------------------------------------------------------------
     @property
     def queue_depth(self):
+        """How many submitted jobs are waiting for a worker."""
         return self._queue.qsize()
 
     def snapshot(self):
@@ -573,6 +591,7 @@ class QueryEngine:
             "in_flight": self._in_flight,
             "cache": self.cache.stats(),
             "memo": self.memo.stats(),
+            "truss": self.indexes.truss_stats(),
         })
         if self.explorer is not None:
             names = self.indexes.names()

@@ -19,10 +19,21 @@ nothing noticed when maintenance mutated the graph underneath.  The
   incremental edge update bumps the version automatically, hands the
   patched core numbers to the next rebuild for free, and reports the
   affected region (changed vertices + their neighbourhoods) for
-  selective cache eviction.
+  selective cache eviction;
+* **attach_truss_maintainer** additionally wires a
+  :class:`~repro.core.truss_maintenance.TrussMaintainer` behind the
+  same mutation gateway: each applied update patches per-edge support
+  and trussness incrementally and reports the *truss-affected* region,
+  so cached k-truss/ATC results survive unrelated updates instead of
+  being evicted wholesale.
 
 Versions are per-graph monotonic integers; anything keyed by
-``(graph, version)`` is immune to stale reads by construction.
+``(graph, version)`` is immune to stale reads by construction.  The
+**truss index** (the ``{edge: truss}`` map behind the triangle
+families) is versioned independently of the CL-tree snapshot: it has
+its own monotonic ``truss_version``, and with a truss maintainer
+attached it never goes stale under maintenance -- updates patch it in
+place while the CL-tree snapshot is rebuilt lazily.
 """
 
 import threading
@@ -30,7 +41,12 @@ import time
 
 from repro.core.cltree import build_cltree
 from repro.core.kcore import core_decomposition
+from repro.core.ktruss import truss_decomposition
 from repro.core.maintenance import CoreMaintainer
+from repro.core.truss_maintenance import (
+    TrussMaintainer,
+    truss_affected_vertices,
+)
 from repro.util.errors import CExplorerError
 
 
@@ -51,7 +67,9 @@ class IndexSnapshot:
 
 class _IndexEntry:
     __slots__ = ("name", "graph", "version", "snapshot", "core",
-                 "maintainer", "builder", "build_count")
+                 "maintainer", "builder", "build_count",
+                 "truss_maintainer", "truss", "truss_version",
+                 "truss_built_version")
 
     def __init__(self, name, graph):
         self.name = name
@@ -62,6 +80,10 @@ class _IndexEntry:
         self.maintainer = None
         self.builder = None         # in-flight background build thread
         self.build_count = 0
+        self.truss_maintainer = None
+        self.truss = None           # cached {edge: truss} map
+        self.truss_version = 1      # independent truss-index version
+        self.truss_built_version = 0
 
 
 class IndexManager:
@@ -84,6 +106,10 @@ class IndexManager:
         # surfaced through the engine snapshot so a permanently broken
         # process-backend build path cannot degrade silently.
         self.build_fallbacks = 0
+        # Size of the most recent truss cascade across *all* maintained
+        # graphs (per-maintainer counters cannot say which update was
+        # last when several graphs are maintained).
+        self.last_truss_cascade_size = 0
 
     # ------------------------------------------------------------------
     # registration
@@ -103,6 +129,7 @@ class IndexManager:
             entry = _IndexEntry(name, graph)
             if old is not None:
                 entry.version = old.version + 1
+                entry.truss_version = old.truss_version + 1
             self._entries[name] = entry
             version = entry.version
         self._notify(name, version, None)
@@ -113,11 +140,13 @@ class IndexManager:
         return version
 
     def unregister(self, name):
+        """Drop ``name`` and notify subscribers (caches evict)."""
         with self._lock:
             self._entries.pop(name, None)
         self._notify(name, None, None)
 
     def names(self):
+        """Sorted names of every registered index entry."""
         with self._lock:
             return sorted(self._entries)
 
@@ -132,6 +161,7 @@ class IndexManager:
     # reads
     # ------------------------------------------------------------------
     def version(self, name):
+        """The current (monotonic) index version of ``name``."""
         with self._lock:
             return self._entry(name).version
 
@@ -175,6 +205,41 @@ class IndexManager:
                 return entry.core
         return core
 
+    def truss(self, name):
+        """Current truss numbers ``{(u, v): t}`` of graph ``name``.
+
+        The triangle-family counterpart of :meth:`core`: with a truss
+        maintainer attached this is the incrementally patched map;
+        otherwise it is recomputed once per truss version and cached.
+        Callers must treat the returned map as read-only.  The
+        decomposition runs outside the manager lock so version probes
+        never stall behind a cold build.
+        """
+        with self._lock:
+            entry = self._entry(name)
+            if (entry.truss is not None
+                    and entry.truss_built_version == entry.truss_version):
+                return entry.truss
+            maintainer = entry.truss_maintainer
+            graph = entry.graph
+            tversion = entry.truss_version
+        if maintainer is not None:
+            truss = maintainer.truss_numbers()
+        else:
+            truss = truss_decomposition(graph)
+        with self._lock:
+            fresh = self._entries.get(name)
+            if fresh is entry and entry.truss_version == tversion:
+                entry.truss = truss
+                entry.truss_built_version = tversion
+                return entry.truss
+        return truss
+
+    def truss_version(self, name):
+        """The independent truss-index version of ``name``."""
+        with self._lock:
+            return self._entry(name).truss_version
+
     def snapshot(self, name, rebuild=False):
         """The current :class:`IndexSnapshot`, building when needed.
 
@@ -202,6 +267,7 @@ class IndexManager:
         return self._build(name)
 
     def cltree(self, name, rebuild=False):
+        """The current CL-tree (building the snapshot when needed)."""
         return self.snapshot(name, rebuild=rebuild).cltree
 
     def stats(self, name):
@@ -210,6 +276,18 @@ class IndexManager:
             entry = self._entry(name)
             snap = entry.snapshot
             current = snap is not None and snap.version == entry.version
+            tm = entry.truss_maintainer
+            truss = {
+                "version": entry.truss_version,
+                "built": (entry.truss is not None
+                          and entry.truss_built_version
+                          == entry.truss_version),
+                "maintained": tm is not None,
+            }
+            if tm is not None:
+                truss["cascades"] = tm.updates
+                truss["last_cascade_size"] = tm.last_cascade_size
+                truss["max_cascade_size"] = tm.max_cascade_size
             return {
                 "version": entry.version,
                 "built": current,
@@ -218,7 +296,30 @@ class IndexManager:
                 "build_seconds": round(snap.build_seconds, 6)
                 if snap else None,
                 "maintained": entry.maintainer is not None,
+                "truss": truss,
             }
+
+    def truss_stats(self):
+        """Aggregate truss-maintenance counters across every graph.
+
+        Feeds the server's ``truss_cascade_size`` metric: how many
+        updates the attached truss maintainers absorbed and how large
+        their trussness cascades were.
+        """
+        with self._lock:
+            maintainers = [entry.truss_maintainer
+                           for entry in self._entries.values()
+                           if entry.truss_maintainer is not None]
+        doc = {"maintained_graphs": len(maintainers), "updates": 0,
+               "changed_edges": 0,
+               "last_cascade_size": self.last_truss_cascade_size,
+               "max_cascade_size": 0}
+        for tm in maintainers:
+            doc["updates"] += tm.updates
+            doc["changed_edges"] += tm.total_cascade_size
+            doc["max_cascade_size"] = max(doc["max_cascade_size"],
+                                          tm.max_cascade_size)
+        return doc
 
     # ------------------------------------------------------------------
     # sharding interface -- unsharded defaults, overridden by
@@ -303,6 +404,7 @@ class IndexManager:
                 return entry.builder
 
             def run():
+                """Builder-thread body: build, then clear the slot."""
                 try:
                     self._build(name)
                 finally:
@@ -328,20 +430,30 @@ class IndexManager:
     # ------------------------------------------------------------------
     # invalidation
     # ------------------------------------------------------------------
-    def invalidate(self, name, affected=None, core=None):
+    def invalidate(self, name, affected=None, core=None,
+                   truss_affected=None, truss=None):
         """Bump ``name``'s version after a mutation.
 
         ``affected`` is the vertex region the mutation could have
         touched (forwarded to subscribers for selective eviction);
         ``core`` optionally carries already-patched core numbers so the
-        next snapshot build skips the decomposition.
+        next snapshot build skips the decomposition.  ``truss_affected``
+        is the triangle-support cascade region a truss maintainer
+        reported (``None`` means unknown: subscribers must evict
+        triangle-family entries conservatively), and ``truss``
+        optionally carries the already-patched truss map so the truss
+        index stays built across the bump.
         """
         with self._lock:
             entry = self._entry(name)
             entry.version += 1
             entry.core = core
+            entry.truss_version += 1
+            entry.truss = truss
+            if truss is not None:
+                entry.truss_built_version = entry.truss_version
             version = entry.version
-        self._notify(name, version, affected)
+        self._notify(name, version, affected, truss_affected)
         return version
 
     def attach_maintainer(self, name, maintainer=None):
@@ -368,22 +480,83 @@ class IndexManager:
             entry.core = maintainer.core_numbers()
 
         def on_update(event):
+            """Per-update hook: patch truss state, then invalidate."""
             graph = maintainer.graph
             affected = set(event["edge"])
             for w in event["changed"]:
                 affected.add(w)
                 affected.update(graph.neighbors(w))
+            truss_affected = None
+            tm = self._truss_maintainer_for(name, graph)
+            if tm is not None:
+                # The core maintainer already applied the edge update
+                # to the graph; patch the truss structures for it and
+                # collect the support cascade's vertex footprint.  The
+                # patched map itself is *not* copied here -- the next
+                # :meth:`truss` read refetches it from the maintainer
+                # lazily, so an update costs its cascade, not O(m).
+                truss_event = tm.apply(event["kind"], *event["edge"])
+                truss_affected = truss_affected_vertices(graph,
+                                                         truss_event)
+                self.last_truss_cascade_size = len(
+                    truss_event["changed"])
             self.invalidate(name, affected=affected,
-                            core=maintainer.core_numbers())
+                            core=maintainer.core_numbers(),
+                            truss_affected=truss_affected)
 
         maintainer.add_listener(on_update)
         return maintainer
 
+    def attach_truss_maintainer(self, name, maintainer=None):
+        """Track ``name``'s triangle support and trussness incrementally.
+
+        Attaches (or creates) a
+        :class:`~repro.core.truss_maintenance.TrussMaintainer` behind
+        the graph's :class:`CoreMaintainer` mutation gateway -- one is
+        attached automatically when missing.  Every edge update through
+        the gateway then additionally patches per-edge support and
+        truss numbers and reports the truss-affected vertex region, so
+        cached k-truss/ATC results survive updates that provably cannot
+        touch them.  Returns the (idempotently attached) truss
+        maintainer; mutations must keep flowing through the core
+        gateway, never through ``TrussMaintainer.add_edge`` directly.
+        """
+        with self._lock:
+            entry = self._entry(name)
+            current = entry.truss_maintainer
+            if current is not None and maintainer in (None, current):
+                return current
+            graph = entry.graph
+        # The core maintainer is the single mutation gateway; its
+        # listener drives the truss patching (see on_update above).
+        self.attach_maintainer(name)
+        if maintainer is None:
+            maintainer = TrussMaintainer(graph)
+        with self._lock:
+            entry = self._entry(name)
+            entry.truss_maintainer = maintainer
+            entry.truss = maintainer.truss_numbers()
+            entry.truss_built_version = entry.truss_version
+        return maintainer
+
+    def _truss_maintainer_for(self, name, graph):
+        """The attached truss maintainer, if it still tracks ``graph``."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                return None
+            tm = entry.truss_maintainer
+        if tm is not None and tm.graph is graph:
+            return tm
+        return None
+
     def subscribe(self, callback):
-        """``callback(name, version, affected)`` runs after every
-        version bump (``version=None`` means unregistered)."""
+        """``callback(name, version, affected, truss_affected)`` runs
+        after every version bump (``version=None`` means unregistered;
+        ``truss_affected=None`` means triangle-family caches must be
+        evicted conservatively)."""
         self._subscribers.append(callback)
 
-    def _notify(self, name, version, affected):
+    def _notify(self, name, version, affected, truss_affected=None):
         for callback in list(self._subscribers):
-            callback(name, version, affected)
+            callback(name, version, affected, truss_affected)

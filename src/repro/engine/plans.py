@@ -19,10 +19,19 @@ SMALL_GRAPH_VERTICES = 2_000
 
 ACQ_FAMILY = ("acq", "acq-inc-s", "acq-inc-t")
 
-# Algorithms whose structural phase (the connected k-core component)
-# can fan out over graph shards; :mod:`repro.engine.sharding` aliases
-# this as its SHARDABLE_ALGORITHMS.
-FANOUT_ALGORITHMS = frozenset(ACQ_FAMILY) | {"global"}
+# The triangle-cohesive family: their structural phase is the global
+# k-truss edge set, which shards certify through shard-local truss
+# decompositions (lower bounds by subgraph monotonicity, exactly like
+# shard-local cores) and the engine completes by peeling only the
+# uncertain/cut edges.
+TRUSS_FAMILY = ("k-truss", "atc")
+
+# Algorithms whose structural phase (the connected k-core component,
+# or the k-truss edge set for the triangle family) can fan out over
+# graph shards; :mod:`repro.engine.sharding` aliases this as its
+# SHARDABLE_ALGORITHMS.
+FANOUT_ALGORITHMS = frozenset(ACQ_FAMILY) | {"global"} \
+    | frozenset(TRUSS_FAMILY)
 
 
 class QueryPlan:
@@ -43,6 +52,8 @@ class QueryPlan:
         self.fanout = fanout
 
     def explain(self):
+        """The plan as a JSON-friendly dict (the metrics endpoint's
+        view of why a strategy was chosen)."""
         return {
             "algorithm": self.algorithm,
             "use_index": self.use_index,

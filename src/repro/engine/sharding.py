@@ -73,12 +73,15 @@ import itertools
 import pickle
 import time
 
+from repro.algorithms.attributed_truss import attributed_truss_search
+from repro.algorithms.truss_search import truss_community_search
 from repro.core.acq import acq_search
 from repro.core.community import Community
 from repro.core.kcore import connected_k_core, core_decomposition
-from repro.engine.backends import shard_candidates_job
+from repro.core.ktruss import truss_decomposition
+from repro.engine.backends import shard_candidates_job, shard_truss_job
 from repro.engine.index_manager import IndexManager
-from repro.engine.plans import FANOUT_ALGORITHMS
+from repro.engine.plans import FANOUT_ALGORITHMS, TRUSS_FAMILY
 from repro.graph.frozen import FrozenGraph
 from repro.util.errors import (
     CExplorerError,
@@ -87,10 +90,12 @@ from repro.util.errors import (
     QueryTimeoutError,
 )
 
-# Algorithms whose structural phase is the connected k-core component
-# of the query vertex; only these fan out.  Triangle-based families
-# (k-truss, atc) need cross-shard support counts the shard indexes do
-# not track, and `local` is already sublinear, so they run unsharded.
+# Algorithms whose structural phase fans out over shards: the k-core
+# families (structural phase = the connected k-core component) and,
+# since the truss maintenance subsystem landed, the triangle families
+# (structural phase = the global k-truss edge set, certified
+# shard-locally and completed by peeling only uncertain/cut edges).
+# `local` is already sublinear, so it runs unsharded.
 SHARDABLE_ALGORITHMS = FANOUT_ALGORITHMS
 
 PARTITION_METHODS = ("hash", "greedy")
@@ -150,6 +155,7 @@ class Partition:
         return [v for v, s in enumerate(self.assignment) if s == shard]
 
     def sizes(self):
+        """Vertex count per shard."""
         counts = [0] * self.shards
         for s in self.assignment:
             counts[s] += 1
@@ -256,6 +262,24 @@ class ShardReport:
         self.dropped = dropped        # list: global degree < k
 
 
+class TrussShardReport:
+    """One shard's contribution to a truss structural query.
+
+    ``certified`` edges have shard-local truss >= k, which certifies
+    global truss >= k by subgraph monotonicity; ``uncertain`` is the
+    rest of the shard's (intra-shard) edges.  Cross-shard (cut) edges
+    belong to no shard and are classified at the merge.  All edges are
+    ``(u, v)`` tuples with ``u < v`` in *global* vertex ids.
+    """
+
+    __slots__ = ("shard", "certified", "uncertain")
+
+    def __init__(self, shard, certified, uncertain):
+        self.shard = shard
+        self.certified = certified
+        self.uncertain = uncertain
+
+
 class ShardPayload:
     """One shard's frozen snapshot, ready to ship to a worker process.
 
@@ -324,6 +348,8 @@ class ShardedIndexManager(IndexManager):
     # ------------------------------------------------------------------
     def register(self, name, graph, build="lazy", shards=1,
                  partitioner="hash"):
+        """Register ``name``; with ``shards > 1`` also partition it
+        and register one index entry per shard subgraph."""
         if _SHARD_SEP in name:
             raise CExplorerError(
                 "graph names may not contain {!r}".format(_SHARD_SEP))
@@ -359,6 +385,7 @@ class ShardedIndexManager(IndexManager):
         return version
 
     def unregister(self, name):
+        """Drop ``name``, its shard entries and its cached payloads."""
         with self._lock:
             old = self._parts.pop(name, None)
             self._payloads = {key: payload
@@ -437,6 +464,46 @@ class ShardedIndexManager(IndexManager):
                 uncertain[old] = degree
         return ShardReport(shard, certified, uncertain, dropped)
 
+    def shard_truss_candidates(self, name, shard, k):
+        """One shard's :class:`TrussShardReport` for a level-``k``
+        truss query.
+
+        Runs as a fan-out job on the worker pool: decomposes only the
+        shard's own induced subgraph (cached per shard truss version,
+        so only maintenance on *this* shard ever forces a recompute)
+        and certifies edges whose shard-local truss number reaches
+        ``k``.
+        """
+        with self._lock:
+            part = self._parts.get(name)
+            if part is None:
+                raise CExplorerError(
+                    "graph {!r} is not sharded".format(name))
+        sub = part.graphs[shard]
+        try:
+            # Only trust the cached per-version decomposition when the
+            # index entry still holds *this* shard set's subgraph.
+            if self.graph(part.names[shard]) is sub:
+                local_truss = self.truss(part.names[shard])
+            else:
+                local_truss = truss_decomposition(sub)
+        except CExplorerError:
+            local_truss = truss_decomposition(sub)
+        mapping = part.old_to_new[shard]
+        old_ids = [0] * len(mapping)
+        for old, new in mapping.items():
+            old_ids[new] = old
+        certified = set()
+        uncertain = set()
+        for u, v in sub.edges():
+            a, b = old_ids[u], old_ids[v]
+            edge = (a, b) if a < b else (b, a)
+            if local_truss.get((u, v), 0) >= k:
+                certified.add(edge)
+            else:
+                uncertain.add(edge)
+        return TrussShardReport(shard, certified, uncertain)
+
     def shard_payload(self, name, shard):
         """The pickled-frozen snapshot of one shard, cached per
         ``(graph, version, shard)``.
@@ -511,6 +578,7 @@ class ShardedIndexManager(IndexManager):
                 part.routed = maintainer
         if wire:
             def route(event):
+                """Apply the update to the owning shard's subgraph."""
                 self._route_update(name, event)
             maintainer.add_listener(route)
         return maintainer
@@ -706,6 +774,187 @@ def sharded_structural_community(engine, name, q, k):
         return connected_k_core(indexes.graph(name), q, k)
 
 
+# ----------------------------------------------------------------------
+# the exact decompose-then-combine truss query
+# ----------------------------------------------------------------------
+
+def merge_truss_reports(graph, reports, k, extra_edges=()):
+    """Combine per-shard truss reports into the exact global k-truss
+    edge set.
+
+    ``extra_edges`` covers the edges no shard reported: cut edges
+    (their endpoints live on different shards) and edges of vertices
+    created after partitioning.  The peel is the standard truss peel
+    restricted to *uncertain* edges: certified edges are in the global
+    k-truss by monotonicity (shard-local truss numbers lower-bound
+    global ones), so they are immovable and their supports are never
+    tracked.  Supports of uncertain edges are exact global triangle
+    counts over the full adjacency.
+
+    Returns ``(strong, suspects)``: the k-truss edge set and the
+    subset of it that survived as uncertain (the boundary region
+    :func:`verify_truss_boundary` re-verifies).
+    """
+    certified = set()
+    uncertain = set()
+    for report in reports:
+        certified.update(report.certified)
+        uncertain.update(report.uncertain)
+    for edge in extra_edges:
+        uncertain.add(edge)
+    uncertain -= certified
+    nbrs = graph.neighbors
+    support = {}
+    for u, v in uncertain:
+        support[(u, v)] = len(nbrs(u) & nbrs(v))
+    threshold = k - 2
+    queue = [e for e, s in support.items() if s < threshold]
+    removed = set(queue)
+    # ``removed`` dedupes the queue; ``gone`` tracks edges whose
+    # triangles have been torn down.  They must differ: a triangle
+    # whose two tracked edges are *enqueued together* still has to
+    # decrement its third edge exactly once, which only the
+    # processed-edge set can decide.
+    gone = set()
+    while queue:
+        e = queue.pop()
+        u, v = e
+        gone.add(e)
+        for w in nbrs(u) & nbrs(v):
+            a = (u, w) if u < w else (w, u)
+            b = (v, w) if v < w else (w, v)
+            if a in gone or b in gone:
+                continue  # triangle already torn down
+            for other in (a, b):
+                s = support.get(other)
+                if s is None:
+                    continue  # certified partner: immovable
+                support[other] = s - 1
+                if s - 1 < threshold and other not in removed:
+                    removed.add(other)
+                    queue.append(other)
+    suspects = uncertain - removed
+    return certified | suspects, suspects
+
+
+def verify_truss_boundary(graph, strong, suspects, k):
+    """Re-verify the merged k-truss on its uncertain survivors.
+
+    Certified edges carry a shard-local proof; the ``suspects`` (cut
+    edges and under-certified intra-shard edges that survived the
+    merge peel) are where a bad merge would first show.  Each must
+    close at least ``k - 2`` triangles whose other two edges are in
+    ``strong``; a violation raises :class:`ShardMergeError` rather
+    than returning a silently wrong truss (the caller answers by
+    recomputing serially).
+    """
+    nbrs = graph.neighbors
+    for u, v in suspects:
+        count = 0
+        for w in nbrs(u) & nbrs(v):
+            a = (u, w) if u < w else (w, u)
+            b = (v, w) if v < w else (w, v)
+            if a in strong and b in strong:
+                count += 1
+        if count < k - 2:
+            raise ShardMergeError(
+                "edge ({}, {}) has {} in-truss triangles < k-2={} "
+                "after merge".format(u, v, count, k - 2))
+
+
+def sharded_truss_edge_set(engine, name, k):
+    """The exact global k-truss edge set of graph ``name``, computed
+    shard-parallel over ``engine``'s worker pool.
+
+    Fan-out: one truss certify/classify job per shard (thread backend:
+    :meth:`ShardedIndexManager.shard_truss_candidates`; process
+    backend: :func:`~repro.engine.backends.shard_truss_job` over the
+    cached frozen shard payloads, running the CSR support-counting
+    kernel GIL-free).  Merge: peel the uncertain and cut edges with
+    exact global supports, then re-verify the survivors.  Returns
+    ``None`` when the graph is (no longer) sharded.
+    """
+    indexes = engine.indexes
+    graph = indexes.graph(name)
+    partition = indexes.partition(name)
+    if partition is None:
+        return None
+    if getattr(engine, "backend", "thread") == "process":
+        jobs = []
+        for shard in range(partition.shards):
+            payload, fresh = indexes.shard_payload(name, shard)
+            if fresh:
+                engine.stats.observe("snapshot_build",
+                                     payload.build_seconds)
+            jobs.append((shard_truss_job,
+                         (payload.key, payload.blob, k)))
+        raw = engine.map_shard_jobs(jobs, graph=name)
+        reports = [
+            TrussShardReport(shard, set(certified), set(uncertain))
+            for shard, (certified, uncertain) in enumerate(raw)
+        ]
+    else:
+        jobs = [
+            (lambda shard=shard:
+             indexes.shard_truss_candidates(name, shard, k))
+            for shard in range(partition.shards)
+        ]
+        reports, _ = engine.map_shards(jobs, graph=name)
+    # Cut edges and post-partition edges belong to no shard subgraph;
+    # classify them at the merge so coverage stays total.
+    known = len(partition.assignment)
+    extra = []
+    for u, v in graph.edges():
+        if (u >= known or v >= known
+                or partition.assignment[u] != partition.assignment[v]):
+            extra.append((u, v))
+    strong, suspects = merge_truss_reports(graph, reports, k,
+                                           extra_edges=extra)
+    verify_truss_boundary(graph, strong, suspects, k)
+    return strong
+
+
+def sharded_truss_search(engine, name, algorithm, q, k, keywords=None):
+    """Run one triangle-family search partition-parallel.
+
+    ``k-truss``: the merged k-truss edge set replaces the global
+    decomposition (a level-``k`` query only ever asks "is this edge's
+    truss >= k"), and the triangle-connectivity BFS runs unchanged.
+    ``atc``: the merged edge set is the structural base (the
+    whole-graph truss reduction); the keyword enumeration runs at the
+    merge and re-verifies every candidate against the full graph.
+    Results are identical to unsharded execution.
+    """
+    graph = engine.indexes.graph(name)
+    q0 = q if isinstance(q, int) else tuple(q)[0]
+    if k < 2:
+        # Match the serial implementations' validation errors exactly.
+        if algorithm == "k-truss":
+            raise QueryError("k must be >= 2 for a k-truss community")
+        raise QueryError("truss order k must be >= 2")
+    try:
+        strong = sharded_truss_edge_set(engine, name, k)
+    except (QueryTimeoutError, QueryCancelledError):
+        # Deadline/cancellation signals belong to admission control;
+        # never convert them into more (serial) work.
+        raise
+    except (CExplorerError, IndexError, KeyError, RuntimeError):
+        # A concurrent re-registration or maintenance update mutated
+        # the shard set under the fan-out, or the merge failed
+        # re-verification.  Fall back to the exact serial computation.
+        engine.stats.count("shard_fallbacks")
+        strong = None
+    if strong is None:
+        if algorithm == "k-truss":
+            return truss_community_search(graph, q0, k)
+        return attributed_truss_search(graph, q, k, keywords=keywords)
+    if algorithm == "k-truss":
+        return truss_community_search(graph, q0, k,
+                                      truss={e: k for e in strong})
+    return attributed_truss_search(graph, q, k, keywords=keywords,
+                                   base_edges=strong)
+
+
 class _MergedBaseIndex:
     """Index shim handed to the ACQ family: answers the one
     ``community_vertices(q, k)`` probe the algorithms make with the
@@ -721,6 +970,7 @@ class _MergedBaseIndex:
         self._component = component
 
     def community_vertices(self, q, k):
+        """The merged structural base for the planned ``(q, k)``."""
         if q == self._q and k == self._k:
             return set(self._component) \
                 if self._component is not None else None
@@ -737,11 +987,17 @@ def sharded_search(engine, name, algorithm, q, k, keywords=None):
     merged component is the structural base; the keyword enumeration
     (bounded by the community, not the graph) runs at the merge and
     re-verifies every keyword constraint against the full graph.
+    Triangle family (``k-truss``/``atc``): dispatched to
+    :func:`sharded_truss_search`, whose structural phase is the merged
+    global k-truss edge set.
     """
     if algorithm not in SHARDABLE_ALGORITHMS:
         raise CExplorerError(
             "algorithm {!r} does not support sharded execution"
             .format(algorithm))
+    if algorithm in TRUSS_FAMILY:
+        return sharded_truss_search(engine, name, algorithm, q, k,
+                                    keywords=keywords)
     if k < 0:
         raise QueryError("degree constraint k must be >= 0")
     graph = engine.indexes.graph(name)

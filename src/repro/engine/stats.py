@@ -54,6 +54,7 @@ class LatencyHistogram:
         self._next = 0
 
     def record(self, seconds):
+        """Fold one observation into the buckets and the reservoir."""
         self.count += 1
         self.total += seconds
         if seconds > self.max:
@@ -81,6 +82,7 @@ class LatencyHistogram:
         return ordered[rank]
 
     def snapshot(self):
+        """Count, mean and p50/p95/max over the sample window (ms)."""
         mean = self.total / self.count if self.count else 0.0
         return {
             "count": self.count,
@@ -107,6 +109,7 @@ class EngineStats:
             self._counters[name] = self._counters.get(name, 0) + n
 
     def get(self, name):
+        """Current value of counter ``name`` (0 when never bumped)."""
         with self._lock:
             return self._counters.get(name, 0)
 

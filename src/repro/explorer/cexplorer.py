@@ -192,6 +192,27 @@ class CExplorer:
                                  .format(name))
         return self.indexes.attach_maintainer(name)
 
+    def truss_maintainer(self, name=None):
+        """Enable incremental truss maintenance for a graph.
+
+        Attaches a
+        :class:`~repro.core.truss_maintenance.TrussMaintainer` behind
+        the graph's :meth:`maintainer` gateway: every edge update then
+        additionally patches per-edge triangle support and truss
+        numbers and reports the truss-affected region, so cached
+        k-truss/ATC results survive unrelated updates instead of being
+        evicted wholesale.  Returns the mutation gateway (the wired
+        :class:`~repro.core.maintenance.CoreMaintainer`) -- route all
+        edge updates through it, exactly as with :meth:`maintainer`.
+        """
+        if name is None:
+            name = self._require_current()
+        if name not in self._graphs:
+            raise CExplorerError("no graph named {!r} uploaded"
+                                 .format(name))
+        self.indexes.attach_truss_maintainer(name)
+        return self.indexes.attach_maintainer(name)
+
     def keyword_candidates(self, vertex, k, keyword):
         """Vertices carrying ``keyword`` in the query vertex's k-core
         component -- the CL-tree inverted-index lookup, memoized in the
@@ -339,6 +360,12 @@ class CExplorer:
                 # graph version, patched by maintenance) so it skips
                 # the O(n + m) whole-graph peel per query.
                 params["core"] = self.indexes.core(name)
+            elif algo.name == "k-truss" and "truss" not in params:
+                # Same reuse for the triangle family: the versioned
+                # truss index (patched in place by an attached truss
+                # maintainer) replaces the per-query O(m^1.5)
+                # decomposition.
+                params["truss"] = self.indexes.truss(name)
             result = algo(graph, q, k, keywords=keywords, **params)
         if cache_key is not None:
             footprint = {v for c in result for v in c}
@@ -347,9 +374,12 @@ class CExplorer:
 
     @staticmethod
     def _fanout_applicable(plan, q):
-        """``global`` takes a single query vertex; the ACQ family also
-        accepts multi-vertex queries (the "+" button)."""
-        return plan.algorithm != "global" or isinstance(q, int)
+        """``global`` and ``k-truss`` take a single query vertex; the
+        ACQ family and ``atc`` also accept multi-vertex queries (the
+        "+" button)."""
+        if plan.algorithm in ("global", "k-truss"):
+            return isinstance(q, int)
+        return True
 
     def detect(self, algorithm, **params):
         """Run a CD algorithm on the whole active graph."""

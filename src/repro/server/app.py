@@ -26,7 +26,10 @@ Endpoints (all JSON; POST bodies are JSON documents):
 skew, and -- under the process backend -- ``snapshot_build`` (frozen
 CSR payload construction), ``shard_ipc`` and ``index_build_ipc``
 latency ops, so payload shipping overhead is observable next to the
-compute it buys.
+compute it buys.  Cache evictions are broken down by reason
+(``core-cascade`` / ``truss-cascade`` / ``evict-all``), and
+``truss_invalidations`` / ``truss_cascade_size`` summarise the truss
+maintenance subsystem.
 
 ``/api/search`` accepts an optional ``"session"`` id; queries are
 recorded into that exploration session and the response echoes the id
@@ -93,15 +96,34 @@ class CExplorerServer(ThreadingHTTPServer):
         return self.engine.execute(fn, *args, **kwargs)
 
     def metrics(self):
+        """The ``/api/metrics`` document.
+
+        ``cache.invalidations_by_reason`` breaks evictions down into
+        ``core-cascade`` / ``truss-cascade`` (footprint-scoped,
+        reported by the attached maintainers) vs ``evict-all`` (the
+        conservative fallback) -- with both maintainers attached, the
+        evict-all counter stays at zero for maintenance updates.
+        ``truss_invalidations`` and ``truss_cascade_size`` summarise
+        the truss maintenance subsystem.
+        """
         with self.metrics_lock:
             cache = self.explorer.cache.stats()
             cache["by_graph"] = self.explorer.cache.entries_by_graph()
+            truss = self.explorer.indexes.truss_stats()
             return {
                 "uptime_seconds": round(time.time() - self.started_at, 3),
                 "requests": dict(self.request_counts),
                 "errors": self.error_count,
                 "sessions": len(self.sessions),
                 "cache": cache,
+                "truss_invalidations":
+                    cache["invalidations_by_reason"]["truss-cascade"],
+                "truss_cascade_size": {
+                    "last": truss["last_cascade_size"],
+                    "max": truss["max_cascade_size"],
+                    "total": truss["changed_edges"],
+                    "updates": truss["updates"],
+                },
                 # Includes per-shard index versions, partition
                 # balance/cut, and fan-out latency/skew for sharded
                 # graphs (see EngineStats.observe_fanout).

@@ -191,8 +191,10 @@ class TestIndexManager:
         manager.subscribe(lambda *args: events.append(args))
         manager.register("g", fig5)
         manager.invalidate("g", affected={1, 2})
-        assert events[0] == ("g", 1, None)
-        assert events[1] == ("g", 2, {1, 2})
+        # Subscribers see (name, version, affected, truss_affected);
+        # without a truss maintainer the truss region is unknown.
+        assert events[0] == ("g", 1, None, None)
+        assert events[1] == ("g", 2, {1, 2}, None)
 
     def test_maintainer_bumps_version_and_reports_region(
             self, triangle_plus_tail):
@@ -204,7 +206,7 @@ class TestIndexManager:
         before = manager.version("g")
         maintainer.insert_edge(3, 1)
         assert manager.version("g") == before + 1
-        name, _, affected = events[-1]
+        name, _, affected, _ = events[-1]
         assert name == "g"
         # Vertex 3 was promoted into the 2-core; the affected region
         # covers the edge, the promotion, and its neighbourhood.
@@ -497,8 +499,11 @@ class TestPlans:
         plan = plan_search("global", dblp_small, shards=4)
         assert plan.fanout
         assert "4 shards" in plan.reason
-        # Non-shardable algorithms never fan out...
-        assert not plan_search("k-truss", dblp_small, shards=4).fanout
+        # The triangle family fans out too (sharded truss search)...
+        assert plan_search("k-truss", dblp_small, shards=4).fanout
+        assert plan_search("atc", dblp_small, shards=4).fanout
+        # ...non-shardable algorithms never do...
+        assert not plan_search("local", dblp_small, shards=4).fanout
         # ...and shards=1 keeps the exact unsharded plan.
         assert not plan_search("global", dblp_small, shards=1).fanout
 

@@ -413,5 +413,19 @@ class TestShardedEquivalence:
     def test_non_shardable_algorithms_run_plain(self, dblp_small):
         explorer = CExplorer()
         explorer.add_graph("g", dblp_small, shards=2)
-        assert explorer.search("k-truss", "jim gray", k=3) is not None
+        assert explorer.search("local", "jim gray", k=3) is not None
         assert "sharding" not in explorer.engine.stats.snapshot()
+
+    def test_truss_family_fans_out(self, dblp_small):
+        """Since the truss maintenance subsystem, the triangle family
+        shards too: the fan-out actually runs and agrees with the
+        serial path."""
+        plain = CExplorer()
+        plain.add_graph("g", dblp_small)
+        explorer = CExplorer()
+        explorer.add_graph("g", dblp_small, shards=2)
+        for algorithm in ("k-truss", "atc"):
+            assert explorer.search(algorithm, "jim gray", k=3) == \
+                plain.search(algorithm, "jim gray", k=3)
+        assert "sharding" in explorer.engine.stats.snapshot()
+        assert explorer.engine.stats.get("shard_fallbacks") == 0
