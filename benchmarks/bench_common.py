@@ -58,9 +58,12 @@ def update_bench_trajectory(section, payload, quick=False):
                       "cpu_count": ..., "kernels": {...},
                       "engine": {...}}]}
 
-    One entry per commit: re-running a bench for the same commit
-    updates its entry in place (sections merge, so the kernel bench
-    and the engine bench can each contribute their part).
+    One entry per ``(commit, quick)``: re-running a bench for the
+    same commit in the same mode updates its entry in place (sections
+    merge, so the kernel bench and the engine bench can each
+    contribute their part), while quick (CI smoke) and full runs
+    record separately -- their numbers are not comparable, and the
+    no-regression gate only ever compares entries of matching mode.
     """
     commit = current_commit()
     doc = {"schema": TRAJECTORY_SCHEMA, "entries": []}
@@ -74,7 +77,8 @@ def update_bench_trajectory(section, payload, quick=False):
             pass
     entry = None
     for candidate in doc["entries"]:
-        if candidate.get("commit") == commit:
+        if candidate.get("commit") == commit \
+                and bool(candidate.get("quick")) == bool(quick):
             entry = candidate
             break
     if entry is None:

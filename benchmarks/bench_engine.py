@@ -42,14 +42,18 @@ import json
 import os
 import time
 
-from repro.algorithms.registry import get_cs_algorithm
+import repro.engine.sharding as _sharding
+from repro.algorithms.registry import get_cd_algorithm, get_cs_algorithm
 from repro.analysis.batch import pick_query_vertices
 from repro.core.kcore import core_decomposition
 from repro.datasets import generate_planted_partition
 from repro.explorer.cexplorer import CExplorer
+from repro.graph.attributed import AttributedGraph
 from repro.graph.frozen import freeze
+from repro.util.errors import CExplorerError
 
-from bench_common import update_bench_trajectory, write_artifact
+from bench_common import dblp_sized, update_bench_trajectory, \
+    write_artifact
 
 K = 4
 
@@ -207,6 +211,161 @@ def test_truss_cache_retention(benchmark, dblp, quick):
                           "evict_all": evictall["hit_rate"]},
         "requery_seconds": {"selective": selective["seconds"],
                             "evict_all": evictall["seconds"]},
+    }, quick=quick)
+
+
+def test_worker_full_query(benchmark, dblp, quick):
+    """The whole-query acceptance shape: finishing a sharded ACQ query
+    through the whole-query worker pipeline (keyword enumeration on
+    the frozen CSR payload, postings fast path, vectorised peel
+    initialisation) beats the parent-verification path (enumeration
+    on mutable set adjacency in the parent) on the sharded DBLP
+    workload -- even serially, before any process parallelism."""
+    distinct, repeats = _pool_shape(quick)
+    pool = pick_query_vertices(dblp, K, distinct, seed=23) * repeats
+    finish = _sharding.worker_finish
+
+    def disabled_finish(*args, **kwargs):
+        """Force the pre-refactor parent-verification fallback."""
+        raise CExplorerError("worker finish disabled for baseline")
+
+    def run_variant(worker, backend="thread"):
+        explorer = CExplorer(workers=4, max_queue=len(pool) + 8,
+                             backend=backend)
+        explorer.add_graph("dblp", dblp, shards=4,
+                           partitioner="greedy")
+        _sharding.worker_finish = finish if worker else disabled_finish
+        try:
+            # Warm the structural caches (shard cores, payloads) so
+            # the timed passes compare the finishing phase, not
+            # first-query index builds both variants share.
+            explorer.search("acq", pool[0], k=K, use_cache=False)
+            start = time.perf_counter()
+            answers = [explorer.search("acq", q, k=K, use_cache=False)
+                       for q in pool]
+            seconds = time.perf_counter() - start
+            stats = {
+                "worker_full_query":
+                    explorer.engine.stats.get("worker_full_query"),
+                "full_query_fallbacks":
+                    explorer.engine.stats.get("full_query_fallbacks"),
+            }
+            return seconds, answers, stats
+        finally:
+            _sharding.worker_finish = finish
+            explorer.engine.shutdown()
+
+    def run():
+        parent_s, parent_out, _ = run_variant(worker=False)
+        worker_s, worker_out, stats = run_variant(worker=True)
+        process_s, process_out, _ = run_variant(worker=True,
+                                                backend="process")
+        assert parent_out == worker_out == process_out
+        return {
+            "parent_verification_seconds": round(parent_s, 6),
+            "worker_full_query_seconds": round(worker_s, 6),
+            "worker_full_query_process_seconds": round(process_s, 6),
+            "speedup": round(parent_s / worker_s, 2) if worker_s
+            else float("inf"),
+            "stats": stats,
+        }
+
+    doc = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Every query of the worker variant ran the whole-query pipeline.
+    assert doc["stats"]["worker_full_query"] >= len(pool)
+    assert doc["stats"]["full_query_fallbacks"] == 0
+    # The acceptance floor: the worker pipeline beats parent
+    # verification.  The tiny quick pool mostly measures fixed
+    # overheads on a shared runner, so it only has to not lose badly.
+    if quick:
+        assert doc["speedup"] >= 0.7, doc
+    else:
+        assert doc["speedup"] > 1.0, doc
+    write_artifact("worker_full_query.json", json.dumps(doc, indent=2))
+    update_bench_trajectory("worker_full_query", {
+        "queries": len(pool),
+        "k": K,
+        "seconds": {
+            "parent_verification":
+                doc["parent_verification_seconds"],
+            "worker_full_query": doc["worker_full_query_seconds"],
+            "worker_full_query_process":
+                doc["worker_full_query_process_seconds"],
+        },
+        "speedup": doc["speedup"],
+    }, quick=quick)
+
+
+def _disjoint_copies(graph, copies):
+    """``copies`` disjoint copies of ``graph`` in one AttributedGraph
+    (the embarrassingly-parallel per-component detection workload)."""
+    combined = AttributedGraph()
+    for c in range(copies):
+        offset = c * graph.vertex_count
+        for v in graph.vertices():
+            label = graph.label(v)
+            combined.add_vertex(
+                None if label is None else "c{}:{}".format(c, label),
+                graph.keywords(v))
+        for u, v in graph.edges():
+            combined.add_edge(u + offset, v + offset)
+    return combined
+
+
+def test_detect_components(benchmark, quick):
+    """The CD acceptance shape: per-component detection jobs over the
+    frozen payload are byte-identical between inline and process
+    execution, and -- on a genuinely parallel runner -- the process
+    pool turns the per-component fan-out into wall-clock speedup."""
+    copies = 2 if quick else 4
+    graph = _disjoint_copies(dblp_sized(220, seed=7), copies)
+    algorithm, params = "codicil", {"seed": 3}
+
+    def run_variant(backend):
+        explorer = CExplorer(workers=4, max_queue=64, backend=backend)
+        explorer.add_graph("g", graph)
+        try:
+            start = time.perf_counter()
+            result = explorer.detect(algorithm, per_component=True,
+                                     **params)
+            seconds = time.perf_counter() - start
+            jobs = explorer.engine.snapshot()["detect_parallelism"]
+            return seconds, result, jobs
+        finally:
+            explorer.engine.shutdown()
+
+    def run():
+        start = time.perf_counter()
+        inline_result = get_cd_algorithm(algorithm)(graph, **params)
+        inline_s = time.perf_counter() - start
+        thread_s, thread_out, jobs = run_variant("thread")
+        process_s, process_out, _ = run_variant("process")
+        assert thread_out == process_out
+        return {
+            "algorithm": algorithm,
+            "components": jobs["last_jobs"],
+            "inline_whole_graph_seconds": round(inline_s, 6),
+            "components_thread_seconds": round(thread_s, 6),
+            "components_process_seconds": round(process_s, 6),
+            "communities": len(thread_out),
+        }
+
+    doc = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert doc["components"] == copies
+    # Real parallelism must pay on a multi-core runner; a 1-2 core
+    # host (or the tiny quick workload) can only record the numbers.
+    if not quick and (os.cpu_count() or 1) >= 4:
+        assert doc["components_process_seconds"] < \
+            doc["components_thread_seconds"], doc
+    write_artifact("detect_components.json", json.dumps(doc, indent=2))
+    update_bench_trajectory("detect", {
+        "algorithm": algorithm,
+        "components": doc["components"],
+        "seconds": {
+            "inline_whole_graph": doc["inline_whole_graph_seconds"],
+            "components_thread": doc["components_thread_seconds"],
+            "components_process": doc["components_process_seconds"],
+        },
     }, quick=quick)
 
 

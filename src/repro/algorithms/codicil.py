@@ -150,18 +150,25 @@ def codicil(graph, content_neighbors=5, sample_ratio=0.5, alpha=0.5,
 
     scores = {}
     incident = {v: [] for v in graph.vertices()}
-    for (u, v), content_sim in combined.items():
+    # Sorted edge order: ``combined``'s insertion order depends on the
+    # input's adjacency iteration (set vs CSR), and the stable
+    # per-vertex ranking below breaks score ties by list order -- so
+    # every order-sensitive step downstream runs over a canonical
+    # sequence, keeping frozen and mutable inputs byte-identical.
+    for u, v in sorted(combined):
+        content_sim = combined[(u, v)]
         score = alpha * content_sim + (1 - alpha) * _topo_jaccard(graph, u, v)
         scores[(u, v)] = score
         incident[u].append((u, v))
         incident[v].append((u, v))
 
-    # Step 3: keep each vertex's strongest edges.
+    # Step 3: keep each vertex's strongest edges (ties break on the
+    # canonical edge order, never on dict insertion order).
     kept = set()
     for v, edge_list in incident.items():
         if not edge_list:
             continue
-        edge_list.sort(key=lambda e: scores[e], reverse=True)
+        edge_list.sort(key=lambda e: (-scores[e], e))
         keep_n = max(1, int(math.ceil(sample_ratio * len(edge_list))))
         kept.update(edge_list[:keep_n])
 
@@ -170,7 +177,7 @@ def codicil(graph, content_neighbors=5, sample_ratio=0.5, alpha=0.5,
     for _ in graph.vertices():
         sampled.add_vertex()
     weights = {}
-    for u, v in kept:
+    for u, v in sorted(kept):
         sampled.add_edge(u, v)
         weights[(u, v)] = max(scores[(u, v)], 1e-9)
     labels = label_propagation(sampled, max_sweeps=max_sweeps,

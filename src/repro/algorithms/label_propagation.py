@@ -41,7 +41,14 @@ def label_propagation(graph, max_sweeps=20, seed=0, weights=None,
         changed = 0
         for v in order:
             votes = {}
-            for u in graph.neighbors(v):
+            # Weighted votes accumulate floats, whose sums depend on
+            # addition order; iterate neighbours canonically so frozen
+            # (sorted CSR) and mutable (set) inputs agree bit-for-bit.
+            # Unweighted votes are exact sums of 1.0 -- no sort needed.
+            nbrs = graph.neighbors(v)
+            if weights is not None:
+                nbrs = sorted(nbrs)
+            for u in nbrs:
                 lbl = labels[u]
                 votes[lbl] = votes.get(lbl, 0.0) + edge_weight(v, u)
             if not votes:

@@ -63,7 +63,11 @@ def local_search(graph, q, k, budget=None, check_interval=None):
             if u in candidate:
                 continue
             connections[u] = connections.get(u, 0) + 1
-            frontier.push(u, (-connections[u], graph.degree(u)))
+            # The vertex id is part of the priority: equal-score
+            # frontier vertices must pop in a canonical order, not in
+            # heap-insertion order (which follows adjacency iteration
+            # and would differ between set and CSR representations).
+            frontier.push(u, (-connections[u], graph.degree(u), u))
 
     absorb(q)
     since_check = 0

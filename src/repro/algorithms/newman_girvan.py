@@ -12,6 +12,7 @@ online-CS vs offline-CD contrast.
 from collections import deque
 
 from repro.core.community import Community
+from repro.graph.protocol import thaw
 
 
 def edge_betweenness(graph, members=None):
@@ -98,7 +99,12 @@ def newman_girvan(graph, max_removals=None, target_clusters=None):
     Returns ``(communities, best_modularity)`` where ``communities`` is
     a list of :class:`Community` labelled ``"Newman-Girvan"``.
     """
-    work = graph.copy()
+    # A *canonical* mutable working copy (not ``graph.copy()``): the
+    # divisive loop's edge choice breaks float ties through adjacency
+    # iteration order, so the working adjacency must be a pure
+    # function of the graph's content for frozen and mutable inputs
+    # to return byte-identical partitions.
+    work = thaw(graph)
     degrees = {v: graph.degree(v) for v in graph.vertices()}
     m_total = graph.edge_count
     best_q = float("-inf")

@@ -73,7 +73,10 @@ def _shortest_path(graph, members, source, targets):
                 path.append(v)
                 v = parent[v]
             return path
-        for u in graph.neighbors(v):
+        # Sorted expansion: equally short paths must tie-break on
+        # vertex ids, not on the representation's adjacency order, so
+        # the connector (and the final community) is canonical.
+        for u in sorted(graph.neighbors(v)):
             if u in members and u not in parent:
                 parent[u] = v
                 queue.append(u)
@@ -150,8 +153,8 @@ def steiner_community_search(graph, query_vertices, k=None,
     #    first); keep the drop when the remainder still peels to a
     #    connected k*-core containing Q.
     order = sorted((v for v in members if v not in qs),
-                   key=lambda v: sum(1 for u in graph.neighbors(v)
-                                     if u in members))
+                   key=lambda v: (sum(1 for u in graph.neighbors(v)
+                                      if u in members), v))
     for v in order:
         if v not in members or len(members) <= len(qs):
             continue

@@ -34,6 +34,21 @@ def truss_community_search(graph, q, k, truss=None):
     if truss is None:
         truss = truss_decomposition(graph)
 
+    if isinstance(graph.neighbors(q), set):
+        nbrs = graph.neighbors
+    else:
+        # CSR neighbourhoods are flat array slices: membership probes
+        # would be linear scans, and the triangle BFS below is all
+        # membership probes.  Materialise each touched neighbourhood
+        # as a set once (results are identical either way).
+        _sets = {}
+
+        def nbrs(v):
+            s = _sets.get(v)
+            if s is None:
+                s = _sets[v] = set(graph.neighbors(v))
+            return s
+
     def edge_key(u, v):
         return (u, v) if u < v else (v, u)
 
@@ -42,8 +57,7 @@ def truss_community_search(graph, q, k, truss=None):
 
     # BFS over edges through shared triangles whose three edges are all
     # strong (the Huang et al. triangle-connectivity relation).
-    seed_edges = [edge_key(q, u) for u in graph.neighbors(q)
-                  if strong(q, u)]
+    seed_edges = [edge_key(q, u) for u in nbrs(q) if strong(q, u)]
     visited = set()
     communities = []
     for seed in seed_edges:
@@ -54,7 +68,7 @@ def truss_community_search(graph, q, k, truss=None):
         stack = [seed]
         while stack:
             u, v = stack.pop()
-            nu, nv = graph.neighbors(u), graph.neighbors(v)
+            nu, nv = nbrs(u), nbrs(v)
             small, large = (nu, nv) if len(nu) <= len(nv) else (nv, nu)
             for w in small:
                 if w in large and strong(u, w) and strong(v, w):

@@ -167,7 +167,21 @@ def _fallback(query, base):
 
 
 def _candidate_vertex_sets(graph, base, keywords):
-    """Map each keyword to the base vertices whose W(v) contains it."""
+    """Map each keyword to the base vertices whose W(v) contains it.
+
+    Frozen (CSR) graphs take the inverted-index fast path: each
+    keyword's qualifying set is one postings-list intersection with
+    the structural base instead of a scan over every base vertex's
+    keyword set (the keyword-verification loop is where ACQ spends
+    most of its time, so this is the intersection worth indexing).
+    """
+    postings = getattr(graph, "keyword_postings", None)
+    if postings is not None:
+        lists = postings()
+        base = base if isinstance(base, (set, frozenset)) \
+            else set(base)
+        return {w: set(lists[w] & base) if w in lists else set()
+                for w in keywords}
     by_kw = {w: set() for w in keywords}
     for v in base:
         kws = graph.keywords(v)

@@ -109,6 +109,7 @@ class CLTree:
         return self._node_of[v]
 
     def node_count(self):
+        """Total number of CL-tree nodes across all roots."""
         return sum(1 for root in self.roots for _ in root.subtree_nodes())
 
     def component_root(self, q, k):
@@ -192,6 +193,7 @@ class CLTree:
         lines = []
 
         def visit(node, depth):
+            """Append one indented line per subtree node."""
             names = ", ".join(self.graph.display_name(v)
                               for v in node.vertices)
             lines.append("{}[k={}] {{{}}}".format("  " * depth, node.k,
@@ -248,6 +250,7 @@ def build_cltree(graph, core=None):
     next_id = 0
 
     def merge(a, b):
+        """Union two components, re-anchoring their child nodes."""
         ra, rb = uf.find(a), uf.find(b)
         if ra == rb:
             return

@@ -35,10 +35,12 @@ class Community:
     # ------------------------------------------------------------------
     @property
     def graph(self):
+        """The graph this community was extracted from."""
         return self._graph
 
     @property
     def vertices(self):
+        """The member vertex ids as a frozenset."""
         return self._vertices
 
     def __len__(self):
@@ -64,6 +66,7 @@ class Community:
     # ------------------------------------------------------------------
     @property
     def vertex_count(self):
+        """Number of member vertices."""
         return len(self._vertices)
 
     @property
@@ -120,6 +123,31 @@ class Community:
             for u in self._graph.neighbors(v):
                 if v < u and u in members:
                     yield (v, u)
+
+    def to_wire(self):
+        """A graph-free, picklable tuple encoding of this community.
+
+        Worker processes run whole queries against *frozen* graph
+        snapshots; shipping their :class:`Community` results back
+        as-is would pickle the snapshot along with every community.
+        The wire form carries only the data -- sorted vertex ids,
+        method, query vertices, ``k``, sorted shared keywords -- and
+        :meth:`from_wire` rebinds it to the parent's live graph.
+        Round-tripping preserves equality and ordering (``__eq__``
+        compares vertex and keyword sets only).
+        """
+        return (tuple(sorted(self._vertices)), self.method,
+                tuple(self.query_vertices), self.k,
+                tuple(sorted(self.shared_keywords)))
+
+    @classmethod
+    def from_wire(cls, graph, wire):
+        """Rebuild a community from :meth:`to_wire` output, bound to
+        ``graph`` (the caller's live graph object)."""
+        vertices, method, query_vertices, k, shared = wire
+        return cls(graph, vertices, method=method,
+                   query_vertices=query_vertices, k=k,
+                   shared_keywords=shared)
 
     def to_dict(self):
         """JSON-friendly representation used by the HTTP server."""

@@ -62,10 +62,14 @@ def edge_support(graph, subset=None):
     members = set(subset) if subset is not None else None
 
     def nbrs(v):
+        """Neighbour set of ``v``, restricted to the subset."""
         base = graph.neighbors(v)
         if members is None:
-            return base
-        return base & members
+            return set(base) if not isinstance(base, set) else base
+        # ``intersection`` accepts any iterable, so this works for
+        # both set adjacency and CSR array slices (the read protocol
+        # does not promise ``&`` on the raw neighbour collection).
+        return members.intersection(base)
 
     support = {}
     vertices = members if members is not None else graph.vertices()

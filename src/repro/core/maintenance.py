@@ -83,6 +83,7 @@ class CoreMaintainer:
     # mutations
     # ------------------------------------------------------------------
     def add_vertex(self, label=None, keywords=()):
+        """Add an isolated vertex (core number 0) to the graph."""
         vid = self.graph.add_vertex(label, keywords)
         self._core.append(0)
         return vid
@@ -129,6 +130,7 @@ class CoreMaintainer:
         cd = {}
 
         def support(w):
+            """Neighbours of ``w`` at core level >= k (memoized)."""
             if w not in cd:
                 cd[w] = sum(1 for x in self.graph.neighbors(w)
                             if core[x] >= k)
@@ -192,6 +194,7 @@ class CoreMaintainer:
         mcd_cache = {}
 
         def mcd(w):
+            """Max-core degree of ``w`` (memoized)."""
             value = mcd_cache.get(w)
             if value is None:
                 value = 0
@@ -202,6 +205,7 @@ class CoreMaintainer:
             return value
 
         def pcd(w):
+            """Pure-core degree of ``w``."""
             value = 0
             for x in adj[w]:
                 cx = core[x]

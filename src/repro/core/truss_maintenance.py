@@ -273,6 +273,7 @@ class TrussMaintainer:
         overlay = dict(bounds)
 
         def val(e):
+            """Current (overlaid) truss bound of edge ``e``."""
             got = overlay.get(e)
             return got if got is not None else truss.get(e, 2)
 

@@ -49,7 +49,7 @@ from concurrent.futures import TimeoutError as _FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.core.cltree import build_cltree
-from repro.core.kcore import core_decomposition
+from repro.core.kcore import connected_k_core, core_decomposition
 from repro.core.ktruss import truss_decomposition
 from repro.util.errors import EngineError, QueryTimeoutError
 
@@ -156,6 +156,174 @@ def shard_truss_job(key, blob, k):
         else:
             uncertain.append(edge)
     return certified, uncertain
+
+
+def _full_graph_entry(key, payload):
+    """The worker's cached state for one whole-graph payload.
+
+    ``payload`` is either the pickled :class:`~repro.graph.frozen.
+    FrozenGraph` blob (process shipping) or the snapshot object itself
+    (in-process fallback, where no serialisation hop exists).  The
+    returned dict caches the snapshot and, lazily, every derived
+    structure a whole query may need -- core numbers, the CL-tree, the
+    truss map -- so an unchanged graph pays each decomposition once
+    per worker, not once per query.
+    """
+    entry = _WORKER_CACHE.get(key)
+    if entry is None:
+        frozen = (pickle.loads(payload)
+                  if isinstance(payload, (bytes, bytearray))
+                  else payload)
+        entry = {"frozen": frozen}
+        if len(_WORKER_CACHE) >= _WORKER_CACHE_MAX:
+            _WORKER_CACHE.clear()
+        _WORKER_CACHE[key] = entry
+    return entry
+
+
+def _entry_core(entry):
+    """Core numbers of the entry's snapshot (computed once)."""
+    core = entry.get("core")
+    if core is None:
+        core = entry["core"] = core_decomposition(entry["frozen"])
+    return core
+
+
+def _entry_cltree(entry):
+    """CL-tree over the entry's snapshot (built once)."""
+    tree = entry.get("cltree")
+    if tree is None:
+        tree = entry["cltree"] = build_cltree(entry["frozen"],
+                                              core=_entry_core(entry))
+    return tree
+
+
+def _entry_truss(entry):
+    """Truss map of the entry's snapshot (computed once)."""
+    truss = entry.get("truss")
+    if truss is None:
+        truss = entry["truss"] = truss_decomposition(entry["frozen"])
+    return truss
+
+
+class FixedBaseIndex:
+    """Index shim answering the one ``community_vertices(q, k)``
+    probe the ACQ family makes with a precomputed structural base.
+
+    Used on both sides of the pipeline: the parent hands it the
+    sharded-merged component when finishing an ACQ query in-process,
+    and :func:`shard_full_query_job` hands it the base the parent's
+    cross-shard merge shipped -- either way the keyword enumeration
+    runs on exactly the base the CL-tree would have computed.
+    ``base=None`` encodes "no structural community exists".
+    """
+
+    __slots__ = ("graph", "_q", "_k", "_base")
+
+    def __init__(self, graph, q, k, base):
+        self.graph = graph
+        self._q = q
+        self._k = k
+        self._base = base
+
+    def community_vertices(self, q, k):
+        """The fixed structural base for the planned ``(q, k)``."""
+        if q == self._q and k == self._k:
+            return set(self._base) if self._base is not None else None
+        # Defensive: an unexpected probe falls back to the exact
+        # definition rather than answering for the wrong query.
+        return connected_k_core(self.graph, q, k)
+
+
+def shard_full_query_job(key, payload, algorithm, q, k, keywords=None,
+                         base=None):
+    """Run one **whole** community search in a worker process.
+
+    The worker executes the complete query -- structural phase,
+    keyword enumeration, verification -- against the cached frozen
+    whole-graph snapshot, instead of shipping candidate sets back to
+    the parent.  ``base`` optionally carries the structural phase the
+    parent's cross-shard merge already reconciled:
+
+    * ``None`` -- compute everything in the worker (the unsharded
+      whole-query offload; derived structures are cached per payload
+      identity);
+    * ``("component", vertices)`` -- the merged connected k-core
+      component (the k-core family's structural base);
+    * ``("edges", edges)`` -- the merged global k-truss edge set (the
+      triangle family's structural base).
+
+    Returns the communities in :meth:`~repro.core.community.Community.
+    to_wire` form; the parent rebinds them to its live graph object.
+    Results are byte-identical to parent-side execution (the frozen
+    equivalence the protocol suite proves).
+    """
+    from repro.algorithms.attributed_truss import attributed_truss_search
+    from repro.algorithms.global_search import global_search
+    from repro.algorithms.registry import get_cs_algorithm
+    from repro.algorithms.truss_search import truss_community_search
+    from repro.core.acq import acq_search
+
+    entry = _full_graph_entry(key, payload)
+    frozen = entry["frozen"]
+    q0 = q if isinstance(q, int) else tuple(q)[0]
+    base_kind, base_value = base if base is not None else (None, None)
+    if algorithm in ("acq", "acq-inc-s", "acq-inc-t"):
+        variant = "dec" if algorithm == "acq" \
+            else algorithm[len("acq-"):]
+        if base_kind == "component":
+            index = FixedBaseIndex(frozen, q0, k, base_value)
+        else:
+            index = _entry_cltree(entry)
+        result = acq_search(frozen, q, k, keywords=keywords,
+                            algorithm=variant, index=index)
+    elif algorithm == "global":
+        result = global_search(frozen, q0, k, core=_entry_core(entry))
+    elif algorithm == "k-truss":
+        truss = ({e: k for e in base_value}
+                 if base_kind == "edges" else _entry_truss(entry))
+        result = truss_community_search(frozen, q0, k, truss=truss)
+    elif algorithm == "atc":
+        base_edges = base_value if base_kind == "edges" else None
+        result = attributed_truss_search(frozen, q, k,
+                                         keywords=keywords,
+                                         base_edges=base_edges)
+    else:
+        # Every other registered CS algorithm takes the plain
+        # protocol call (codicil, local, steiner, plug-ins).
+        result = get_cs_algorithm(algorithm)(frozen, q, k,
+                                             keywords=keywords)
+    return [community.to_wire() for community in result]
+
+
+def component_detect_job(key, payload, algorithm, component, params):
+    """Run one CD detection (or one component's slice of it) in a
+    worker process.
+
+    ``component`` is ``None`` for the whole graph, or the sorted
+    global vertex ids of one connected component -- the worker carves
+    the induced frozen subgraph straight out of the cached CSR
+    snapshot and maps the resulting communities back to global ids.
+    ``params`` is the detection's keyword arguments as a sorted item
+    tuple (canonical and picklable).  Returns wire-form communities.
+    """
+    from repro.algorithms.registry import get_cd_algorithm
+
+    entry = _full_graph_entry(key, payload)
+    frozen = entry["frozen"]
+    old_ids = None
+    if component is not None:
+        frozen, _ = frozen.induced_subgraph(component)
+        old_ids = list(component)  # sorted: the id map is monotone
+    result = get_cd_algorithm(algorithm)(frozen, **dict(params))
+    wires = []
+    for community in result:
+        vertices, method, query_vertices, k, shared = \
+            community.to_wire()
+        if old_ids is not None:
+            vertices = tuple(old_ids[v] for v in vertices)
+        wires.append((vertices, method, query_vertices, k, shared))
+    return wires
 
 
 def build_index_job(frozen, core=None):

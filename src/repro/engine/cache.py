@@ -46,6 +46,12 @@ TRUSS_SELECTIVE_ALGORITHMS = frozenset({"k-truss", "atc"})
 # evictions are precise cascades or blind evict-alls.
 INVALIDATION_REASONS = ("core-cascade", "truss-cascade", "evict-all")
 
+# Memo kinds holding *truss* intermediates.  Their entries are keyed
+# on the graph's independent ``truss_version`` (not the CL-tree/k-core
+# index version), so a version-aware invalidation drops them exactly
+# when the truss index moved -- core-only rebuilds leave them warm.
+TRUSS_MEMO_KINDS = frozenset({"ktruss-strong", "truss"})
+
 
 def _canonical(value):
     """A hashable canonical form for one parameter value."""
@@ -242,15 +248,38 @@ class SubproblemMemo:
                 self._data.popitem(last=False)
         return value
 
-    def invalidate(self, graph_name=None):
-        """Drop all entries (or one graph's, across all versions)."""
+    def invalidate(self, graph_name=None, version=None,
+                   truss_version=None):
+        """Drop stale entries (or everything, when nothing is known).
+
+        ``graph_name=None`` clears the whole memo.  With only a graph
+        name, every entry of that graph goes (the conservative
+        pre-truss behaviour).  With the graph's *current* versions
+        supplied, the invalidation is version-aware: an entry survives
+        when it is keyed at the current version *for its kind* --
+        truss intermediates (:data:`TRUSS_MEMO_KINDS`) check
+        ``truss_version``, everything else checks ``version``.  That
+        is what lets truss intermediates outlive core-only rebuilds:
+        their keys move with the independent truss index, not with
+        the CL-tree snapshot lifecycle.
+        """
         with self._lock:
             if graph_name is None:
                 self._data.clear()
                 return
-            stale = [k for k in self._data if k[0] == graph_name]
-            for k in stale:
-                del self._data[k]
+            stale = []
+            for key in self._data:
+                if key[0] != graph_name:
+                    continue
+                if version is None and truss_version is None:
+                    stale.append(key)
+                    continue
+                current = truss_version if key[2] in TRUSS_MEMO_KINDS \
+                    else version
+                if key[1] != current:
+                    stale.append(key)
+            for key in stale:
+                del self._data[key]
 
     def __len__(self):
         with self._lock:

@@ -50,6 +50,7 @@ import queue
 import threading
 import time
 
+from repro.core.community import Community
 from repro.engine.backends import (
     ProcessBackend,
     ProcessBackendError,
@@ -59,6 +60,7 @@ from repro.engine.cache import ResultCache, SubproblemMemo
 from repro.engine.index_manager import IndexManager
 from repro.engine.stats import EngineStats
 from repro.util.errors import (
+    CExplorerError,
     EngineBusyError,
     QueryCancelledError,
     QueryTimeoutError,
@@ -196,6 +198,7 @@ class QueryEngine:
         self._lifecycle = threading.Lock()
         self._shutdown = False
         self._process = None
+        self._last_detect_parallelism = 0
         if self.backend == "process":
             self._process = ProcessBackend(workers)
             # Index builds (including every per-shard CL-tree) route
@@ -480,6 +483,15 @@ class QueryEngine:
                 if graph is not None:
                     self.stats.observe_fanout(graph, child_seconds)
                 return results
+        if len(jobs) == 1:
+            # One job and no pool: the queue round-trip buys nothing
+            # (the old parent path ran on the calling thread too), so
+            # run it here and keep only the stats.
+            fn, args = jobs[0]
+            start = time.perf_counter()
+            result = fn(*args)
+            self.stats.observe(op, time.perf_counter() - start)
+            return [result]
         fns = [lambda fn=fn, args=args: fn(*args) for fn, args in jobs]
         return self.map_shards(fns, graph=graph, op=op)[0]
 
@@ -515,6 +527,98 @@ class QueryEngine:
                               keywords=keywords)
 
     # ------------------------------------------------------------------
+    # whole-query worker execution
+    # ------------------------------------------------------------------
+    def full_query_capable(self, name):
+        """Whether whole-query worker execution pays for ``name``.
+
+        True under the process backend (the pipeline is what lets a
+        query escape the GIL entirely) and whenever a current frozen
+        payload is already cached (the snapshot cost is sunk, so even
+        the thread backend profits from the CSR fast paths).
+        """
+        if self.backend == "process":
+            return True
+        ready = getattr(self.indexes, "full_payload_ready", None)
+        return bool(ready is not None and ready(name))
+
+    def _full_payload_job_arg(self, name):
+        """``(payload, job payload argument)`` for graph ``name``:
+        the pre-pickled blob when jobs ship to worker processes, the
+        snapshot object itself when they run in-process (no
+        serialisation hop to pay)."""
+        payload, fresh = self.indexes.full_payload(name)
+        if fresh:
+            self.stats.observe("snapshot_build", payload.build_seconds)
+        arg = payload.blob if self._process is not None \
+            else payload.frozen
+        return payload, arg
+
+    def search_full_query(self, name, algorithm, q, k, keywords=None,
+                          base=None):
+        """Run one whole community search against the cached frozen
+        payload of graph ``name`` -- in a worker process under the
+        process backend, in-process (same pipeline, same results)
+        otherwise.
+
+        ``base`` optionally carries a structural phase the sharded
+        merge already reconciled (see :func:`~repro.engine.backends.
+        shard_full_query_job`).  Returns live
+        :class:`~repro.core.community.Community` objects bound to the
+        registered graph.
+        """
+        from repro.engine.backends import shard_full_query_job
+
+        payload, arg = self._full_payload_job_arg(name)
+        wires = self.map_shard_jobs(
+            [(shard_full_query_job,
+              (payload.key, arg, algorithm, q, k, keywords, base))],
+            op="full_query")
+        self.stats.count("worker_full_query")
+        graph = self.indexes.graph(name)
+        return [Community.from_wire(graph, wire) for wire in wires[0]]
+
+    def detect(self, name, algorithm, params=None, per_component=False):
+        """Run one whole-graph CD detection on the frozen payload.
+
+        With ``per_component=True`` the detection fans out as one
+        worker job per connected component (each carves its induced
+        frozen subgraph from the cached payload); results are the
+        concatenation in component order.  Connected graphs degrade
+        to the single whole-graph job, whose result is byte-identical
+        to inline detection (the frozen equivalence the protocol
+        suite proves).  Per-component execution is a *different,
+        deterministic plan*: component-local algorithm state (RNG
+        sweeps, TF-IDF document frequencies) sees one component
+        instead of the union, which only coincides with whole-graph
+        output when the graph is connected.
+        """
+        from repro.engine.backends import component_detect_job
+
+        payload, arg = self._full_payload_job_arg(name)
+        graph = self.indexes.graph(name)
+        wire_params = tuple(sorted(dict(params or {}).items()))
+        components = [None]
+        if per_component:
+            components = sorted(
+                tuple(sorted(component))
+                for component in graph.connected_components())
+            if len(components) == 1:
+                components = [None]
+        jobs = [(component_detect_job,
+                 (payload.key, arg, algorithm, component, wire_params))
+                for component in components]
+        self.stats.count("detect_runs")
+        self.stats.count("detect_jobs", len(jobs))
+        self._last_detect_parallelism = len(jobs)
+        wires = self.map_shard_jobs(jobs, op="detect")
+        communities = []
+        for wire_list in wires:
+            communities.extend(Community.from_wire(graph, wire)
+                               for wire in wire_list)
+        return communities
+
+    # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _on_index_event(self, name, version, affected,
@@ -524,11 +628,22 @@ class QueryEngine:
         ``affected`` scopes eviction for the minimum-degree families,
         ``truss_affected`` (reported by an attached truss maintainer)
         for the triangle families; either being ``None`` makes its
-        families' eviction conservative.
+        families' eviction conservative.  Memo eviction is
+        version-aware: truss intermediates are keyed on (and checked
+        against) the independent ``truss_version``, so they survive
+        events that only moved the CL-tree/k-core index.
         """
         self.cache.invalidate(name, affected=affected,
                               truss_affected=truss_affected)
-        self.memo.invalidate(name)
+        if version is None:
+            self.memo.invalidate(name)
+            return
+        try:
+            truss_version = self.indexes.truss_version(name)
+        except CExplorerError:
+            truss_version = None
+        self.memo.invalidate(name, version=version,
+                             truss_version=truss_version)
 
     def _worker(self):
         while True:
@@ -582,6 +697,15 @@ class QueryEngine:
         doc = self.stats.snapshot()
         doc.update({
             "backend": self.backend,
+            # Whole-query worker execution: how many searches ran
+            # end-to-end on a frozen payload, and how wide the last
+            # CD detection fanned out per component.
+            "worker_full_query": self.stats.get("worker_full_query"),
+            "detect_parallelism": {
+                "last_jobs": self._last_detect_parallelism,
+                "runs": self.stats.get("detect_runs"),
+                "jobs": self.stats.get("detect_jobs"),
+            },
             "index_build_fallbacks": getattr(self.indexes,
                                              "build_fallbacks", 0),
             "workers": self.workers,

@@ -36,6 +36,8 @@ attached it never goes stale under maintenance -- updates patch it in
 place while the CL-tree snapshot is rebuilt lazily.
 """
 
+import itertools
+import pickle
 import threading
 import time
 
@@ -47,6 +49,7 @@ from repro.core.truss_maintenance import (
     TrussMaintainer,
     truss_affected_vertices,
 )
+from repro.graph.frozen import FrozenGraph
 from repro.util.errors import CExplorerError
 
 
@@ -86,15 +89,56 @@ class _IndexEntry:
         self.truss_built_version = 0
 
 
+class GraphPayload:
+    """A whole graph, frozen and ready to ship to a worker process.
+
+    ``frozen`` is the CSR snapshot (what an in-process job consumes
+    directly); ``blob`` lazily pickles it once for process shipping.
+    ``key`` is the ``(manager epoch, graph, "full", version)`` identity
+    workers cache their unpickled copy -- and every derived structure
+    (core numbers, CL-tree, truss map) -- under, so repeated
+    whole-query jobs against an unchanged graph pay neither the
+    unpickle nor the decompositions.
+    """
+
+    __slots__ = ("key", "version", "frozen", "_blob", "build_seconds")
+
+    def __init__(self, key, version, frozen, build_seconds):
+        self.key = key
+        self.version = version
+        self.frozen = frozen
+        self._blob = None
+        self.build_seconds = build_seconds
+
+    @property
+    def blob(self):
+        """The pickled snapshot (serialised once, on first use)."""
+        if self._blob is None:
+            self._blob = pickle.dumps(self.frozen,
+                                      protocol=pickle.HIGHEST_PROTOCOL)
+        return self._blob
+
+
 class IndexManager:
     """Versioned, invalidation-aware index store for many graphs."""
 
     BUILD_MODES = ("lazy", "eager", "background")
 
+    # Distinguishes payloads of same-named graphs held by *different*
+    # managers: worker-side caches key on the payload identity, and an
+    # in-process (fallback) execution shares one cache across every
+    # engine in the parent, so (name, version) alone could collide.
+    _payload_epochs = itertools.count(1)
+
     def __init__(self):
         self._entries = {}
         self._lock = threading.RLock()
         self._subscribers = []
+        # name -> GraphPayload, valid while the entry's version
+        # matches; one latest payload per graph, so the cache is
+        # bounded by the number of registered graphs.
+        self._full_payloads = {}
+        self._payload_epoch = next(self._payload_epochs)
         # Optional build delegate ``(graph, core=None) -> (core,
         # cltree)``; the engine's process backend installs one so
         # CL-tree builds (every graph *and* every shard entry, so an
@@ -143,6 +187,7 @@ class IndexManager:
         """Drop ``name`` and notify subscribers (caches evict)."""
         with self._lock:
             self._entries.pop(name, None)
+            self._full_payloads.pop(name, None)
         self._notify(name, None, None)
 
     def names(self):
@@ -239,6 +284,57 @@ class IndexManager:
         """The independent truss-index version of ``name``."""
         with self._lock:
             return self._entry(name).truss_version
+
+    def full_payload(self, name):
+        """The whole-graph frozen payload, cached per
+        ``(graph, version)``.
+
+        Returns ``(payload, fresh)`` where ``fresh`` says the snapshot
+        was (re)built by this call (the engine records the build time
+        under the ``snapshot_build`` latency op).  This is what the
+        whole-query execution path ships to workers: one immutable CSR
+        snapshot per graph version, against which a worker runs an
+        entire search or detection and caches every derived structure
+        (core numbers, CL-tree, truss map) under the payload's
+        identity.  Maintenance invalidates it exactly when it bumps
+        the graph's version.
+        """
+        start = time.perf_counter()
+        with self._lock:
+            entry = self._entry(name)
+            version = entry.version
+            graph = entry.graph
+            cached = self._full_payloads.get(name)
+            if cached is not None and cached.version == version:
+                return cached, False
+        # Freeze outside the lock: an O(V + E) snapshot must not
+        # stall every concurrent version/built probe.  The manager
+        # lock would not serialise graph mutations anyway (the
+        # maintainer gateway mutates the parent graph before its
+        # listeners take this lock); the version-checked publish
+        # below keeps the cache coherent, and a racing bump simply
+        # leaves the payload unpublished -- the in-flight query may
+        # still use its consistent snapshot of the prior state.
+        frozen = FrozenGraph.from_graph(graph)
+        payload = GraphPayload(
+            (self._payload_epoch, name, "full", version), version,
+            frozen, 0.0)
+        payload.build_seconds = time.perf_counter() - start
+        with self._lock:
+            fresh = self._entries.get(name)
+            if fresh is not None and fresh.graph is graph \
+                    and fresh.version == version:
+                self._full_payloads[name] = payload
+        return payload, True
+
+    def full_payload_ready(self, name):
+        """Whether a current-version whole-graph payload is cached."""
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None:
+                return False
+            cached = self._full_payloads.get(name)
+            return cached is not None and cached.version == entry.version
 
     def snapshot(self, name, rebuild=False):
         """The current :class:`IndexSnapshot`, building when needed.

@@ -33,6 +33,16 @@ TRUSS_FAMILY = ("k-truss", "atc")
 FANOUT_ALGORITHMS = frozenset(ACQ_FAMILY) | {"global"} \
     | frozenset(TRUSS_FAMILY)
 
+# Algorithms the whole-query worker pipeline can run end-to-end
+# against a cached frozen snapshot (repro.engine.backends.
+# shard_full_query_job): every built-in CS method -- the graph read
+# protocol guarantees each accepts a FrozenGraph with byte-identical
+# results.  Plug-ins registered after import are dispatched through
+# the same generic protocol call, but the planner only volunteers the
+# worker path for names it knows satisfy it.
+FULL_QUERY_ALGORITHMS = FANOUT_ALGORITHMS \
+    | {"local", "codicil", "steiner"}
+
 
 class QueryPlan:
     """One planned execution: algorithm + index + fan-out decision.
@@ -41,15 +51,23 @@ class QueryPlan:
     chosen algorithm's structural phase should run partition-parallel
     (:mod:`repro.engine.sharding`); it is never set when ``shards=1``,
     so single-shard graphs keep the exact pre-sharding code path.
+    ``worker_full_query=True`` means the entire query should run
+    inside a worker against the graph's cached frozen payload
+    (:meth:`~repro.engine.executor.QueryEngine.search_full_query`);
+    the sharded fan-out takes precedence when both are set (its
+    finishing phase already runs through the same worker pipeline).
     """
 
-    __slots__ = ("algorithm", "use_index", "reason", "fanout")
+    __slots__ = ("algorithm", "use_index", "reason", "fanout",
+                 "worker_full_query")
 
-    def __init__(self, algorithm, use_index, reason, fanout=False):
+    def __init__(self, algorithm, use_index, reason, fanout=False,
+                 worker_full_query=False):
         self.algorithm = algorithm
         self.use_index = use_index
         self.reason = reason
         self.fanout = fanout
+        self.worker_full_query = worker_full_query
 
     def explain(self):
         """The plan as a JSON-friendly dict (the metrics endpoint's
@@ -59,16 +77,18 @@ class QueryPlan:
             "use_index": self.use_index,
             "reason": self.reason,
             "fanout": self.fanout,
+            "worker_full_query": self.worker_full_query,
         }
 
     def __repr__(self):
-        return ("QueryPlan({!r}, use_index={}, fanout={}, reason={!r})"
+        return ("QueryPlan({!r}, use_index={}, fanout={}, "
+                "worker_full_query={}, reason={!r})"
                 .format(self.algorithm, self.use_index, self.fanout,
-                        self.reason))
+                        self.worker_full_query, self.reason))
 
 
 def plan_search(algorithm, graph, index_ready=False, keywords=None,
-                shards=1):
+                shards=1, full_payload=False):
     """Choose the concrete algorithm and whether to use the CL-tree.
 
     ``algorithm`` may be a registered CS name (passed through, with
@@ -76,6 +96,10 @@ def plan_search(algorithm, graph, index_ready=False, keywords=None,
     ``shards`` is how many partitions the graph is registered as;
     with ``shards > 1`` the plan marks shard-fan-out-capable
     algorithms (the k-core family) for partition-parallel execution.
+    ``full_payload`` says a frozen whole-graph payload exists (or the
+    engine's backend makes building one worthwhile); the plan then
+    marks protocol-capable algorithms for whole-query worker
+    execution.
 
     Auto rules, in order:
 
@@ -96,6 +120,11 @@ def plan_search(algorithm, graph, index_ready=False, keywords=None,
         plan.fanout = True
         plan.reason += ("; structural phase fans out over {} shards"
                         .format(shards))
+    if full_payload and plan.algorithm in FULL_QUERY_ALGORITHMS:
+        plan.worker_full_query = True
+        plan.reason += ("; whole query runs on the frozen payload"
+                        if not plan.fanout else
+                        "; merge finish runs on the frozen payload")
     return plan
 
 

@@ -69,7 +69,6 @@ and combine at the engine layer:
   unsharded/thread execution.
 """
 
-import itertools
 import pickle
 import time
 
@@ -79,7 +78,11 @@ from repro.core.acq import acq_search
 from repro.core.community import Community
 from repro.core.kcore import connected_k_core, core_decomposition
 from repro.core.ktruss import truss_decomposition
-from repro.engine.backends import shard_candidates_job, shard_truss_job
+from repro.engine.backends import (
+    FixedBaseIndex,
+    shard_candidates_job,
+    shard_truss_job,
+)
 from repro.engine.index_manager import IndexManager
 from repro.engine.plans import FANOUT_ALGORITHMS, TRUSS_FAMILY
 from repro.graph.frozen import FrozenGraph
@@ -327,21 +330,22 @@ class ShardedIndexManager(IndexManager):
     ``shards=1`` (the default) behaviour is exactly the parent's.
     """
 
-    # Distinguishes payloads of same-named graphs held by *different*
-    # managers: worker-side caches key on the payload identity, and an
-    # in-process (fallback) execution shares one cache across every
-    # engine in the parent, so (name, shard, version) alone could
-    # collide.
-    _payload_epochs = itertools.count(1)
-
     def __init__(self):
         super().__init__()
         self._parts = {}
         # (name, shard) -> ShardPayload, valid while the shard entry's
         # version matches; one latest payload per shard, so the cache
-        # is bounded by the number of live shard entries.
+        # is bounded by the number of live shard entries.  The payload
+        # epoch (worker-cache identity of same-named graphs across
+        # managers) is inherited from :class:`IndexManager`.
         self._payloads = {}
-        self._payload_epoch = next(self._payload_epochs)
+        # name -> {edge: exact global support} for the edges no shard
+        # owns (cut edges).  Kept exact under maintenance by the
+        # :meth:`invalidate` override: an update only evicts the
+        # entries its neighbourhood could have changed.
+        self._cut_supports = {}
+        self.cut_support_hits = 0
+        self.cut_support_misses = 0
 
     # ------------------------------------------------------------------
     # registration
@@ -375,10 +379,12 @@ class ShardedIndexManager(IndexManager):
             with self._lock:
                 old = self._parts.get(name)
                 self._parts[name] = fresh
+                self._cut_supports.pop(name, None)
             leftovers = old.names[shards:] if old is not None else []
         else:
             with self._lock:
                 old = self._parts.pop(name, None)
+                self._cut_supports.pop(name, None)
             leftovers = old.names if old is not None else []
         for entry in leftovers:
             super().unregister(entry)
@@ -388,6 +394,7 @@ class ShardedIndexManager(IndexManager):
         """Drop ``name``, its shard entries and its cached payloads."""
         with self._lock:
             old = self._parts.pop(name, None)
+            self._cut_supports.pop(name, None)
             self._payloads = {key: payload
                               for key, payload in self._payloads.items()
                               if key[0] != name}
@@ -422,6 +429,13 @@ class ShardedIndexManager(IndexManager):
             return None
         doc = part.partition.stats()
         doc["indexes"] = [self.stats(entry) for entry in part.names]
+        doc["cut_support_cache"] = {
+            "entries": len(self._cut_supports.get(name, ())),
+            # Manager-wide counters: how often truss merges found
+            # their cut-edge supports warm vs had to intersect.
+            "hits": self.cut_support_hits,
+            "misses": self.cut_support_misses,
+        }
         return doc
 
     def shard_candidates(self, name, shard, k):
@@ -558,6 +572,86 @@ class ShardedIndexManager(IndexManager):
             if fresh is part and self.version(entry_name) == version:
                 self._payloads[(name, shard)] = payload
         return payload, True
+
+    # ------------------------------------------------------------------
+    # cut-edge support cache
+    # ------------------------------------------------------------------
+    def cut_edge_supports(self, name, edges):
+        """Exact global triangle supports of ``edges``, cached.
+
+        Cut edges (endpoints on different shards) belong to no shard
+        subgraph, so every sharded truss merge needs their exact
+        global supports -- and they are the same edges query after
+        query.  The cache holds them per graph; the
+        :meth:`invalidate` override keeps it exact by evicting only
+        the entries inside each update's affected neighbourhood (an
+        edge's triangle count can only change when the update touches
+        one of its endpoints' adjacencies).  Misses are computed here
+        and cached; hits/misses are counted for :meth:`shard_stats`.
+        """
+        out = {}
+        misses = []
+        with self._lock:
+            graph = self.graph(name)
+            version = self.version(name)
+            cache = self._cut_supports.setdefault(name, {})
+            for edge in edges:
+                support = cache.get(edge)
+                if support is None:
+                    misses.append(edge)
+                else:
+                    self.cut_support_hits += 1
+                    out[edge] = support
+        # Intersect outside the lock: a cold cache over many cut
+        # edges is real work, and every concurrent version/payload
+        # probe shares this lock (same reasoning as the out-of-lock
+        # whole-graph freeze in ``IndexManager.full_payload``).
+        for edge in misses:
+            u, v = edge
+            nu = graph.neighbors(u)
+            if not isinstance(nu, set):
+                nu = set(nu)
+            out[edge] = len(nu.intersection(graph.neighbors(v)))
+        if misses:
+            with self._lock:
+                self.cut_support_misses += len(misses)
+                # Publish only when no maintenance landed while we
+                # computed -- a concurrent update may have evicted
+                # exactly these edges, and re-adding them would
+                # resurrect stale counts.  The in-flight query still
+                # uses the computed values: a consistent snapshot of
+                # the state it read (either-state semantics).
+                entry = self._entries.get(name)
+                if entry is not None and entry.version == version \
+                        and self._cut_supports.get(name) is cache:
+                    for edge in misses:
+                        cache[edge] = out[edge]
+        return out
+
+    def invalidate(self, name, affected=None, **kwargs):
+        """Version bump plus cut-support eviction scoped to the
+        update's neighbourhood.
+
+        A cached cut-edge support can only change when the update
+        touches one of the edge's endpoints, so an ``affected`` region
+        evicts exactly the cache entries with an endpoint inside it;
+        a region-less (conservative) bump clears the graph's whole
+        cut cache.  Shard-entry bumps route to their parent graph's
+        cache.
+        """
+        parent = parent_graph_name(name)
+        with self._lock:
+            cache = self._cut_supports.get(parent)
+            if cache:
+                if affected is None:
+                    cache.clear()
+                else:
+                    stale = [edge for edge in cache
+                             if edge[0] in affected
+                             or edge[1] in affected]
+                    for edge in stale:
+                        del cache[edge]
+        return super().invalidate(name, affected=affected, **kwargs)
 
     # ------------------------------------------------------------------
     # maintenance routing
@@ -778,7 +872,8 @@ def sharded_structural_community(engine, name, q, k):
 # the exact decompose-then-combine truss query
 # ----------------------------------------------------------------------
 
-def merge_truss_reports(graph, reports, k, extra_edges=()):
+def merge_truss_reports(graph, reports, k, extra_edges=(),
+                        known_supports=None):
     """Combine per-shard truss reports into the exact global k-truss
     edge set.
 
@@ -789,7 +884,9 @@ def merge_truss_reports(graph, reports, k, extra_edges=()):
     k-truss by monotonicity (shard-local truss numbers lower-bound
     global ones), so they are immovable and their supports are never
     tracked.  Supports of uncertain edges are exact global triangle
-    counts over the full adjacency.
+    counts over the full adjacency; ``known_supports`` optionally
+    carries already-exact counts (the manager's cut-edge support
+    cache) so recurring cut edges skip the intersection.
 
     Returns ``(strong, suspects)``: the k-truss edge set and the
     subset of it that survived as uncertain (the boundary region
@@ -804,9 +901,12 @@ def merge_truss_reports(graph, reports, k, extra_edges=()):
         uncertain.add(edge)
     uncertain -= certified
     nbrs = graph.neighbors
+    known = known_supports or {}
     support = {}
     for u, v in uncertain:
-        support[(u, v)] = len(nbrs(u) & nbrs(v))
+        s = known.get((u, v))
+        support[(u, v)] = s if s is not None \
+            else len(nbrs(u) & nbrs(v))
     threshold = k - 2
     queue = [e for e, s in support.items() if s < threshold]
     removed = set(queue)
@@ -871,9 +971,29 @@ def sharded_truss_edge_set(engine, name, k):
     backend: :func:`~repro.engine.backends.shard_truss_job` over the
     cached frozen shard payloads, running the CSR support-counting
     kernel GIL-free).  Merge: peel the uncertain and cut edges with
-    exact global supports, then re-verify the survivors.  Returns
-    ``None`` when the graph is (no longer) sharded.
+    exact global supports (cut-edge supports come from the manager's
+    per-graph cache, invalidated only by each update's
+    neighbourhood), then re-verify the survivors.  The merged edge
+    set is memoized per ``(graph, truss_version, k)`` in the engine's
+    :class:`~repro.engine.cache.SubproblemMemo` -- queries for
+    different vertices at the same level share one fan-out, and the
+    truss-version key means the entry survives anything that does not
+    move the truss index.  Returns ``None`` when the graph is (no
+    longer) sharded.
     """
+    indexes = engine.indexes
+    partition = indexes.partition(name)
+    if partition is None:
+        return None
+    truss_version = indexes.truss_version(name)
+    return engine.memo.get_or_compute(
+        name, truss_version, "ktruss-strong", k,
+        lambda: _compute_sharded_truss_edge_set(engine, name, k))
+
+
+def _compute_sharded_truss_edge_set(engine, name, k):
+    """The uncached fan-out/merge behind
+    :func:`sharded_truss_edge_set`."""
     indexes = engine.indexes
     graph = indexes.graph(name)
     partition = indexes.partition(name)
@@ -902,16 +1022,36 @@ def sharded_truss_edge_set(engine, name, k):
         reports, _ = engine.map_shards(jobs, graph=name)
     # Cut edges and post-partition edges belong to no shard subgraph;
     # classify them at the merge so coverage stays total.
-    known = len(partition.assignment)
+    assigned = len(partition.assignment)
     extra = []
     for u, v in graph.edges():
-        if (u >= known or v >= known
+        if (u >= assigned or v >= assigned
                 or partition.assignment[u] != partition.assignment[v]):
             extra.append((u, v))
+    # Cut edges recur in every truss merge of this graph; their exact
+    # global supports come from the manager's per-(graph) cache,
+    # which maintenance invalidates by the update's neighbourhood
+    # only (see ShardedIndexManager.cut_edge_supports).
+    supports_fn = getattr(indexes, "cut_edge_supports", None)
+    known_supports = supports_fn(name, extra) \
+        if supports_fn is not None else None
     strong, suspects = merge_truss_reports(graph, reports, k,
-                                           extra_edges=extra)
+                                           extra_edges=extra,
+                                           known_supports=known_supports)
     verify_truss_boundary(graph, strong, suspects, k)
     return strong
+
+
+def worker_finish(engine, name, algorithm, q, k, keywords, base):
+    """Finish one sharded query inside the whole-query worker
+    pipeline: the parent's merge reconciled the cross-shard structural
+    phase into ``base``; the verification / keyword-enumeration phase
+    runs against the cached frozen payload (in a worker process under
+    the process backend, in-process on the same CSR snapshot
+    otherwise).  Raising callers fall back to the parent-side finish.
+    """
+    return engine.search_full_query(name, algorithm, q, k,
+                                    keywords=keywords, base=base)
 
 
 def sharded_truss_search(engine, name, algorithm, q, k, keywords=None):
@@ -921,9 +1061,10 @@ def sharded_truss_search(engine, name, algorithm, q, k, keywords=None):
     decomposition (a level-``k`` query only ever asks "is this edge's
     truss >= k"), and the triangle-connectivity BFS runs unchanged.
     ``atc``: the merged edge set is the structural base (the
-    whole-graph truss reduction); the keyword enumeration runs at the
-    merge and re-verifies every candidate against the full graph.
-    Results are identical to unsharded execution.
+    whole-graph truss reduction).  The finishing phase -- triangle
+    BFS or keyword enumeration -- runs through the whole-query worker
+    pipeline over the frozen payload; the parent-side finish remains
+    as the fallback.  Results are identical to unsharded execution.
     """
     graph = engine.indexes.graph(name)
     q0 = q if isinstance(q, int) else tuple(q)[0]
@@ -948,35 +1089,22 @@ def sharded_truss_search(engine, name, algorithm, q, k, keywords=None):
         if algorithm == "k-truss":
             return truss_community_search(graph, q0, k)
         return attributed_truss_search(graph, q, k, keywords=keywords)
+    try:
+        return worker_finish(engine, name, algorithm, q, k, keywords,
+                             ("edges", tuple(sorted(strong))))
+    except (QueryTimeoutError, QueryCancelledError):
+        raise
+    except QueryError:
+        # Genuine query validation errors are identical either way;
+        # re-running the finish in the parent would only raise again.
+        raise
+    except (CExplorerError, IndexError, KeyError, RuntimeError):
+        engine.stats.count("full_query_fallbacks")
     if algorithm == "k-truss":
         return truss_community_search(graph, q0, k,
                                       truss={e: k for e in strong})
     return attributed_truss_search(graph, q, k, keywords=keywords,
                                    base_edges=strong)
-
-
-class _MergedBaseIndex:
-    """Index shim handed to the ACQ family: answers the one
-    ``community_vertices(q, k)`` probe the algorithms make with the
-    sharded-merged component, so the keyword enumeration runs on
-    exactly the base the CL-tree would have produced."""
-
-    __slots__ = ("graph", "_q", "_k", "_component")
-
-    def __init__(self, graph, q, k, component):
-        self.graph = graph
-        self._q = q
-        self._k = k
-        self._component = component
-
-    def community_vertices(self, q, k):
-        """The merged structural base for the planned ``(q, k)``."""
-        if q == self._q and k == self._k:
-            return set(self._component) \
-                if self._component is not None else None
-        # Defensive: an unexpected probe falls back to the exact
-        # definition rather than answering for the wrong query.
-        return connected_k_core(self.graph, q, k)
 
 
 def sharded_search(engine, name, algorithm, q, k, keywords=None):
@@ -985,9 +1113,11 @@ def sharded_search(engine, name, algorithm, q, k, keywords=None):
 
     ``global``: the merged component *is* the answer.  ACQ family: the
     merged component is the structural base; the keyword enumeration
-    (bounded by the community, not the graph) runs at the merge and
-    re-verifies every keyword constraint against the full graph.
-    Triangle family (``k-truss``/``atc``): dispatched to
+    (bounded by the community, not the graph) runs through the
+    whole-query worker pipeline against the frozen payload -- the
+    parent's merge only reconciles the cross-shard component -- with
+    the parent-side enumeration kept as the fallback.  Triangle
+    family (``k-truss``/``atc``): dispatched to
     :func:`sharded_truss_search`, whose structural phase is the merged
     global k-truss edge set.
     """
@@ -1009,6 +1139,19 @@ def sharded_search(engine, name, algorithm, q, k, keywords=None):
         return [Community(graph, component, method="Global",
                           query_vertices=(q0,), k=k)]
     variant = "dec" if algorithm == "acq" else algorithm[len("acq-"):]
-    shim = _MergedBaseIndex(graph, q0, k, component)
+    if component is not None:
+        try:
+            return worker_finish(
+                engine, name, algorithm, q, k, keywords,
+                ("component", tuple(sorted(component))))
+        except (QueryTimeoutError, QueryCancelledError):
+            raise
+        except QueryError:
+            # Validation errors (bad keywords, foreign vertices) are
+            # identical either way; surface them directly.
+            raise
+        except (CExplorerError, IndexError, KeyError, RuntimeError):
+            engine.stats.count("full_query_fallbacks")
+    shim = FixedBaseIndex(graph, q0, k, component)
     return acq_search(graph, q, k, keywords=keywords,
                       algorithm=variant, index=shim)

@@ -42,7 +42,7 @@ from repro.explorer.autocomplete import NameIndex
 from repro.explorer.profiles import ProfileStore
 from repro.graph.io import load_graph
 from repro.graph.validation import validate_graph
-from repro.util.errors import CExplorerError, QueryError
+from repro.util.errors import CExplorerError, EngineError, QueryError
 from repro.viz.layout import circular_layout, ego_layout, spring_layout
 from repro.viz.render import render_ascii, render_svg
 
@@ -335,7 +335,9 @@ class CExplorer:
         plan = plan_search(algorithm, graph,
                            index_ready=self.indexes.built(name),
                            keywords=keywords,
-                           shards=self.indexes.shards(name))
+                           shards=self.indexes.shards(name),
+                           full_payload=self.engine.full_query_capable(
+                               name))
         algo = get_cs_algorithm(plan.algorithm)
         cache_key = None
         if use_cache and not params:
@@ -343,14 +345,35 @@ class CExplorer:
             cached = self.cache.get(cache_key)
             if cached is not None:
                 return cached
+        result = None
         if plan.fanout and not params and self._fanout_applicable(plan, q):
             # Partition-parallel: per-shard structural subqueries on
-            # the worker pool, merged (and re-verified) at the engine
-            # layer.  Results are identical to the unsharded path, so
-            # the merged result is cached under the same key below.
+            # the worker pool, merged at the engine layer, finished
+            # through the whole-query worker pipeline.  Results are
+            # identical to the unsharded path, so the merged result is
+            # cached under the same key below.
             result = self.engine.search_sharded(name, plan.algorithm,
                                                 q, k, keywords=keywords)
-        else:
+        elif plan.worker_full_query and not params:
+            # Whole-query worker execution: the entire search --
+            # structural phase included -- runs against the cached
+            # frozen payload (in a worker process under the process
+            # backend).  Any pipeline failure falls through to the
+            # inline path below; results are identical either way.
+            try:
+                result = self.engine.search_full_query(
+                    name, plan.algorithm, q, k, keywords=keywords)
+            except (QueryError, EngineError):
+                # Validation and admission-control errors are
+                # identical inline; surface them directly.
+                raise
+            except (CExplorerError, IndexError, KeyError,
+                    RuntimeError):
+                # Unregistered-name race, or a snapshot torn by a
+                # concurrent out-of-gateway mutation: run inline,
+                # visibly.
+                self.engine.stats.count("full_query_fallbacks")
+        if result is None:
             if plan.use_index and algo.name.startswith("acq") \
                     and "index" not in params:
                 params["index"] = self.index()
@@ -381,9 +404,42 @@ class CExplorer:
             return isinstance(q, int)
         return True
 
-    def detect(self, algorithm, **params):
-        """Run a CD algorithm on the whole active graph."""
+    def detect(self, algorithm, per_component=False, **params):
+        """Run a CD algorithm on the whole active graph.
+
+        Detections route through the engine's frozen-payload pipeline
+        whenever that pays (always under the process backend -- the
+        whole detection escapes the GIL; under the thread backend once
+        a payload is cached): the worker runs the registered algorithm
+        against the CSR snapshot and ships plain results back, byte-
+        identical to inline execution.  ``per_component=True``
+        additionally fans the detection out as one worker job per
+        connected component -- a deterministic plan of its own whose
+        output concatenates the per-component results (identical to
+        the whole-graph output exactly when the graph is connected).
+        Any pipeline failure falls back to inline detection.
+        """
         algo = get_cd_algorithm(algorithm)
+        name = self._require_current()
+        if per_component or self.engine.full_query_capable(name):
+            try:
+                return self.engine.detect(name, algo.name,
+                                          params=params,
+                                          per_component=per_component)
+            except (QueryError, EngineError):
+                raise
+            except (CExplorerError, TypeError, IndexError, KeyError,
+                    RuntimeError):
+                # Per-component output is a plan of its own (it only
+                # coincides with whole-graph detection on connected
+                # graphs), so an explicit request for it must never
+                # silently degrade to the inline whole-graph run.
+                if per_component:
+                    raise
+                # Unregistered-name race, unpicklable params, or a
+                # snapshot torn by an out-of-gateway mutation: run
+                # inline, visibly.
+                self.engine.stats.count("full_query_fallbacks")
         return algo(self.graph, **params)
 
     # ------------------------------------------------------------------

@@ -104,10 +104,12 @@ class AttributedGraph:
     # ------------------------------------------------------------------
     @property
     def vertex_count(self):
+        """Number of vertices."""
         return len(self._adj)
 
     @property
     def edge_count(self):
+        """Number of undirected edges."""
         return self._m
 
     def __len__(self):
@@ -128,6 +130,7 @@ class AttributedGraph:
                     yield (u, v)
 
     def has_edge(self, u, v):
+        """Whether the edge ``{u, v}`` exists."""
         self._check_vertex(u)
         self._check_vertex(v)
         return v in self._adj[u]
@@ -143,6 +146,7 @@ class AttributedGraph:
         return self._adj[v]
 
     def degree(self, v):
+        """Degree of vertex ``v``."""
         self._check_vertex(v)
         return len(self._adj[v])
 
@@ -152,6 +156,7 @@ class AttributedGraph:
         return self._keywords[v]
 
     def label(self, v):
+        """The label of ``v`` (or ``None``)."""
         self._check_vertex(v)
         return self._labels[v]
 
@@ -172,6 +177,7 @@ class AttributedGraph:
             raise UnknownVertexError(label) from None
 
     def has_label(self, label):
+        """Whether any vertex carries ``label``."""
         return label in self._label_to_id
 
     def labels(self):

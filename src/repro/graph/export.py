@@ -133,6 +133,7 @@ def write_community_csv(community, edge_path, vertex_path=None):
     graph = community.graph
 
     def cell(text):
+        """Quote one CSV cell per RFC 4180 when needed."""
         text = str(text)
         if any(ch in text for ch in ',"\n'):
             return '"' + text.replace('"', '""') + '"'

@@ -63,7 +63,7 @@ class FrozenGraph:
     """
 
     __slots__ = ("indptr", "indices", "_m", "_keywords", "_labels",
-                 "_label_to_id", "_np_csr")
+                 "_label_to_id", "_np_csr", "_postings")
 
     def __init__(self, indptr, indices, keywords, labels):
         self.indptr = indptr
@@ -73,6 +73,7 @@ class FrozenGraph:
         self._labels = labels
         self._label_to_id = None     # built lazily; excluded from pickle
         self._np_csr = None          # cached numpy views, ditto
+        self._postings = None        # lazy keyword postings, ditto
 
     # ------------------------------------------------------------------
     # construction
@@ -111,6 +112,7 @@ class FrozenGraph:
         self._labels = labels
         self._label_to_id = None
         self._np_csr = None
+        self._postings = None
 
     # ------------------------------------------------------------------
     # kernel access
@@ -137,10 +139,12 @@ class FrozenGraph:
     # ------------------------------------------------------------------
     @property
     def vertex_count(self):
+        """Number of vertices in the snapshot."""
         return len(self.indptr) - 1
 
     @property
     def edge_count(self):
+        """Number of undirected edges in the snapshot."""
         return self._m
 
     def __len__(self):
@@ -167,10 +171,12 @@ class FrozenGraph:
         return self.indices[self.indptr[v]:self.indptr[v + 1]]
 
     def degree(self, v):
+        """Degree of vertex ``v``."""
         self._check_vertex(v)
         return self.indptr[v + 1] - self.indptr[v]
 
     def has_edge(self, u, v):
+        """Whether the edge ``{u, v}`` exists (binary search)."""
         self._check_vertex(u)
         self._check_vertex(v)
         lo, hi = self.indptr[u], self.indptr[u + 1]
@@ -178,24 +184,29 @@ class FrozenGraph:
         return i < hi and self.indices[i] == v
 
     def keywords(self, v):
+        """``W(v)`` as a frozenset of keyword strings."""
         self._check_vertex(v)
         return self._keywords[v]
 
     def label(self, v):
+        """The label of ``v`` (or ``None``)."""
         self._check_vertex(v)
         return self._labels[v]
 
     def display_name(self, v):
+        """Label if set, else ``"v<id>"`` -- what the UI shows."""
         label = self.label(v)
         return label if label is not None else "v{}".format(v)
 
     def id_of(self, label):
+        """Resolve a vertex label to its id."""
         try:
             return self._label_map()[label]
         except KeyError:
             raise UnknownVertexError(label) from None
 
     def has_label(self, label):
+        """Whether any vertex carries ``label``."""
         return label in self._label_map()
 
     def labels(self):
@@ -203,10 +214,35 @@ class FrozenGraph:
         return dict(self._label_map())
 
     def keyword_vocabulary(self):
+        """The set of all keywords appearing on any vertex."""
         vocab = set()
         for kws in self._keywords:
             vocab |= kws
         return vocab
+
+    def keyword_postings(self):
+        """The inverted keyword index ``{keyword: frozenset of ids}``.
+
+        Built lazily in one pass and cached for the snapshot's
+        lifetime (it can never go stale).  This is the CSR-side fast
+        path for the ACQ family's qualifying-vertex-set computation:
+        intersecting a posting with the structural base replaces a
+        scan of every base vertex's keyword set.  The returned dict
+        and its values must be treated as read-only.
+        """
+        if self._postings is None:
+            postings = {}
+            for v, kws in enumerate(self._keywords):
+                for w in kws:
+                    postings.setdefault(w, []).append(v)
+            self._postings = {w: frozenset(vs)
+                              for w, vs in postings.items()}
+        return self._postings
+
+    def vertices_with_keyword(self, keyword):
+        """All vertex ids carrying ``keyword`` (a frozenset; possibly
+        empty)."""
+        return self.keyword_postings().get(keyword, frozenset())
 
     # ------------------------------------------------------------------
     # traversal
@@ -228,6 +264,7 @@ class FrozenGraph:
         return seen
 
     def connected_components(self):
+        """Yield every connected component as a set of vertex ids."""
         seen = set()
         for v in self.vertices():
             if v not in seen:
@@ -236,21 +273,69 @@ class FrozenGraph:
                 yield comp
 
     # ------------------------------------------------------------------
+    # derived graphs (the read protocol's construction surface)
+    # ------------------------------------------------------------------
+    def copy(self):
+        """A canonical **mutable** copy (the protocol's ``copy``).
+
+        Freezing is explicit (:func:`freeze`); copying a snapshot
+        yields the thing a copy is for -- a graph the caller may
+        mutate.  Built via :func:`repro.graph.protocol.thaw`, so the
+        copy's adjacency layout is canonical (sorted insertion order).
+        """
+        from repro.graph.protocol import thaw
+
+        return thaw(self)
+
+    def induced_subgraph(self, vertices):
+        """The induced frozen subgraph on ``vertices``.
+
+        Mirrors ``AttributedGraph.induced_subgraph``: ids are remapped
+        to ``0..k-1`` in sorted-old-id order and ``(subgraph,
+        old_to_new)`` is returned -- except the subgraph is another
+        :class:`FrozenGraph`, built CSR-to-CSR without materialising
+        set adjacency (this is what lets a worker carve one component
+        out of a cached whole-graph payload).
+        """
+        keep = sorted(set(vertices))
+        for v in keep:
+            self._check_vertex(v)
+        old_to_new = {old: new for new, old in enumerate(keep)}
+        indptr, indices = self.indptr, self.indices
+        sub_indptr = array("i", [0] * (len(keep) + 1))
+        sub_indices = array("i")
+        for new, old in enumerate(keep):
+            for u in indices[indptr[old]:indptr[old + 1]]:
+                w = old_to_new.get(u)
+                if w is not None:
+                    sub_indices.append(w)  # stays sorted: map is monotone
+            sub_indptr[new + 1] = len(sub_indices)
+        keywords = tuple(self._keywords[old] for old in keep)
+        labels = tuple(self._labels[old] for old in keep)
+        return (FrozenGraph(sub_indptr, sub_indices, keywords, labels),
+                old_to_new)
+
+    # ------------------------------------------------------------------
     # immutability
     # ------------------------------------------------------------------
     def add_vertex(self, *args, **kwargs):
+        """Raise: the snapshot is immutable."""
         raise GraphFormatError("FrozenGraph is immutable")
 
     def add_edge(self, *args, **kwargs):
+        """Raise: the snapshot is immutable."""
         raise GraphFormatError("FrozenGraph is immutable")
 
     def remove_edge(self, *args, **kwargs):
+        """Raise: the snapshot is immutable."""
         raise GraphFormatError("FrozenGraph is immutable")
 
     def set_keywords(self, *args, **kwargs):
+        """Raise: the snapshot is immutable."""
         raise GraphFormatError("FrozenGraph is immutable")
 
     def relabel(self, *args, **kwargs):
+        """Raise: the snapshot is immutable."""
         raise GraphFormatError("FrozenGraph is immutable")
 
     # ------------------------------------------------------------------
@@ -292,5 +377,6 @@ def neighbor_function(graph):
     indptr, indices = csr()
 
     def neighbors(v):
+        """The sorted CSR neighbour slice of ``v``."""
         return indices[indptr[v]:indptr[v + 1]]
     return neighbors

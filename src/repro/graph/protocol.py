@@ -1,0 +1,114 @@
+"""The graph **read protocol**: the one inspection surface every
+algorithm is written against.
+
+Two graph representations coexist in the system --
+:class:`~repro.graph.attributed.AttributedGraph` (mutable set
+adjacency, what maintenance needs) and
+:class:`~repro.graph.frozen.FrozenGraph` (immutable CSR snapshot, what
+the kernels and the process backend need).  Every registered CS/CD
+algorithm must accept *either*, which is what lets whole queries run
+end-to-end inside worker processes against cached frozen payloads
+instead of shipping candidate sets back to the parent (the
+factorised-execution lesson: pick one immutable representation and
+make every operator run on it).
+
+This module pins that contract down:
+
+* :data:`READ_PROTOCOL` -- the attribute names a conforming graph must
+  expose.  The semantics are ``AttributedGraph``'s documented read
+  API; ``FrozenGraph`` duck-types it over flat CSR arrays.
+* :func:`missing_protocol_methods` / :func:`supports_read_protocol` /
+  :func:`require_read_protocol` -- conformance probes (the equivalence
+  suite checks both representations against them).
+* :func:`thaw` -- a **canonical mutable copy** of any protocol graph:
+  vertices in id order, edges inserted in sorted ``(u, v)`` order.
+  Algorithms that must mutate a working copy (Newman-Girvan peels
+  edges off) thaw their input instead of calling ``copy()`` on it, so
+  the working graph's adjacency -- and therefore every
+  iteration-order-dependent tie-break downstream -- is identical no
+  matter which representation the query arrived on.
+
+Protocol fine print the algorithms rely on:
+
+* ``neighbors(v)`` returns an *iterable* of neighbour ids supporting
+  ``len``/``in`` -- a ``set`` on the mutable graph, a sorted flat
+  array slice on the frozen one.  Code needing set operations builds
+  its own (``set(graph.neighbors(v))`` or
+  ``members.intersection(graph.neighbors(v))``); ``&`` on the raw
+  return value is **not** part of the protocol.
+* ``copy()`` returns a *mutable* equivalent graph -- freezing is
+  explicit (:func:`repro.graph.frozen.freeze`), thawing implicit.
+* results must not depend on adjacency iteration order: anything
+  order-sensitive (stable-sort tie-breaks, float accumulation under
+  weights, RNG interleaving) must canonicalise first, because the two
+  representations iterate neighbourhoods differently.
+"""
+
+from repro.util.errors import GraphFormatError
+
+# The read surface shared by AttributedGraph and FrozenGraph.  Write
+# methods (add_edge & co.) are deliberately absent: FrozenGraph keeps
+# them as raising stubs, and no registered algorithm may call them on
+# its input graph.
+READ_PROTOCOL = (
+    "vertex_count",
+    "edge_count",
+    "vertices",
+    "edges",
+    "neighbors",
+    "degree",
+    "has_edge",
+    "keywords",
+    "label",
+    "display_name",
+    "id_of",
+    "has_label",
+    "labels",
+    "keyword_vocabulary",
+    "connected_component",
+    "connected_components",
+    "induced_subgraph",
+    "copy",
+    "__contains__",
+    "__len__",
+)
+
+
+def missing_protocol_methods(graph):
+    """The protocol attributes ``graph`` does not expose (sorted)."""
+    return sorted(name for name in READ_PROTOCOL
+                  if not hasattr(graph, name))
+
+
+def supports_read_protocol(graph):
+    """Whether ``graph`` exposes the full read protocol."""
+    return not missing_protocol_methods(graph)
+
+
+def require_read_protocol(graph):
+    """Raise :class:`GraphFormatError` naming any missing attributes."""
+    missing = missing_protocol_methods(graph)
+    if missing:
+        raise GraphFormatError(
+            "{} does not satisfy the graph read protocol; missing: {}"
+            .format(type(graph).__name__, ", ".join(missing)))
+    return graph
+
+
+def thaw(graph):
+    """A canonical mutable :class:`AttributedGraph` copy of ``graph``.
+
+    Vertices are added in id order and edges in sorted ``(u, v)``
+    order, so the copy's set-adjacency layout -- and every
+    iteration-order-dependent decision made over it -- is a pure
+    function of the graph's content, not of the representation (or
+    mutation history) it arrived in.
+    """
+    from repro.graph.attributed import AttributedGraph
+
+    out = AttributedGraph()
+    for v in graph.vertices():
+        out.add_vertex(graph.label(v), graph.keywords(v))
+    for u, v in sorted(graph.edges()):
+        out.add_edge(u, v)
+    return out

@@ -23,15 +23,17 @@ class SubgraphView:
 
     @property
     def graph(self):
+        """The underlying full graph."""
         return self._graph
 
     @property
     def vertex_count(self):
+        """Number of vertices in the view."""
         return len(self._members)
 
     @property
     def edge_count(self):
-        # Each edge counted from both sides.
+        """Number of edges induced on the view (each counted once)."""
         return sum(self.degree(v) for v in self._members) // 2
 
     def __len__(self):
@@ -41,6 +43,7 @@ class SubgraphView:
         return v in self._members
 
     def vertices(self):
+        """Iterate over the view's member vertex ids."""
         return iter(self._members)
 
     def vertex_set(self):

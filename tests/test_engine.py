@@ -492,8 +492,10 @@ class TestPlans:
 
     def test_explain_is_json_friendly(self, dblp_small):
         doc = plan_search("auto", dblp_small).explain()
-        assert set(doc) == {"algorithm", "use_index", "reason", "fanout"}
+        assert set(doc) == {"algorithm", "use_index", "reason",
+                            "fanout", "worker_full_query"}
         assert doc["fanout"] is False
+        assert doc["worker_full_query"] is False
 
     def test_sharded_graph_plans_fanout(self, dblp_small):
         plan = plan_search("global", dblp_small, shards=4)
