@@ -506,3 +506,64 @@ def test_engine_vs_direct(benchmark, dblp, dblp_index, quick):
             "process": doc["seconds"]["engine_sharded_cold_4w_process"],
         },
     }, quick=quick)
+
+
+def test_tracing_overhead(benchmark, dblp, quick):
+    """Query tracing must be free on the warm-cache fast path.
+
+    Cache hits skip the trace lifecycle entirely (``future.trace`` is
+    ``None``), so a warm pool with the recorder enabled must run at
+    the same speed as with it disabled -- the acceptance budget is
+    < 5% overhead (min-of-rounds to cut scheduler noise; quick mode's
+    tiny pool only gets a sanity bound).  Misses still record full
+    traces, asserted as a shape check.
+    """
+    pool = _query_pool(dblp, quick)
+    explorer = CExplorer(workers=1, max_queue=len(pool) + 1)
+    explorer.add_graph("dblp", dblp, build="eager")
+    engine = explorer.engine
+
+    def warm_pass():
+        for q in pool:
+            engine.search_sync("acq", q, k=K, timeout=60)
+
+    def best_of(rounds, passes):
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            for _ in range(passes):
+                warm_pass()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def run():
+        warm_pass()                          # fill the cache
+        # Misses recorded full traces while the cache filled.
+        traced_misses = engine.tracer.stats()["recorded"]
+        recorded_before = traced_misses
+        warm_pass()                          # all hits, no new traces
+        assert engine.tracer.stats()["recorded"] == recorded_before
+        rounds, passes = (3, 5) if quick else (5, 20)
+        best_of(1, passes)                   # untimed warm-up
+        engine.tracer.configure(enabled=True)
+        traced = best_of(rounds, passes)
+        engine.tracer.configure(enabled=False)
+        untraced = best_of(rounds, passes)
+        engine.tracer.configure(enabled=True)
+        return {"traced": traced, "untraced": untraced,
+                "misses_recorded": traced_misses}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    explorer.engine.shutdown()
+    overhead = (results["traced"] - results["untraced"]) \
+        / results["untraced"]
+    assert results["misses_recorded"] >= len(set(pool))
+    # < 5% on the full pool; the quick pool is too small for a tight
+    # bound, so it only guards against gross regressions.
+    assert overhead < (0.5 if quick else 0.05), results
+    update_bench_trajectory("tracing", {
+        "queries": len(pool),
+        "warm_traced_seconds": round(results["traced"], 6),
+        "warm_untraced_seconds": round(results["untraced"], 6),
+        "warm_overhead_pct": round(overhead * 100, 2),
+    }, quick=quick)

@@ -10,6 +10,8 @@ Subcommands mirror the paper's API (Figure 4) plus operational verbs::
     python -m repro profile  --name "Michael Stonebraker"
     python -m repro partition --graph dblp.json --shards 4
     python -m repro serve    --graph dblp.json --port 8080 --shards 4
+    python -m repro trace    --graph dblp.json --vertex "jim gray"
+    python -m repro trace    --url http://127.0.0.1:8080 --last 5
 
 Graph-loading subcommands accept ``--shards N`` (with
 ``--partitioner hash|greedy``) to register the graph partitioned, so
@@ -154,6 +156,51 @@ def _cmd_profile(args):
     return 0
 
 
+def _cmd_trace(args):
+    """Print a span waterfall for the last N query traces.
+
+    Two modes: ``--url`` fetches traces from a running server's
+    ``/api/traces`` endpoints; ``--graph`` (with one or more
+    ``--vertex``) runs the searches locally and prints the traces the
+    engine recorded.
+    """
+    from repro.engine.tracing import format_waterfall
+
+    docs = []
+    if args.url:
+        import urllib.request
+
+        base = args.url.rstrip("/")
+        with urllib.request.urlopen(
+                "{}/api/traces?limit={}".format(base, args.last)) as fh:
+            listing = json.loads(fh.read().decode("utf-8"))
+        for summary in listing.get("traces", []):
+            with urllib.request.urlopen("{}/api/traces/{}".format(
+                    base, summary["query_id"])) as fh:
+                docs.append(json.loads(fh.read().decode("utf-8")))
+    else:
+        if not args.graph or not args.vertex:
+            raise CExplorerError(
+                "trace needs either --url or --graph with --vertex")
+        explorer = _load_explorer(args)
+        for vertex in args.vertex:
+            explorer.engine.search_sync(args.algorithm, vertex,
+                                        k=args.k)
+        docs = [trace.to_dict()
+                for trace in explorer.engine.tracer.traces(
+                    limit=args.last)]
+    if args.json:
+        print(json.dumps(docs, indent=1))
+        return 0
+    if not docs:
+        print("no traces recorded")
+        return 1
+    for doc in docs:
+        print(format_waterfall(doc))
+        print()
+    return 0
+
+
 def _cmd_serve(args):
     explorer = _load_explorer(args)
     explorer.index()
@@ -252,6 +299,30 @@ def build_parser():
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080)
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "trace", help="print a waterfall of recent query traces")
+    p.add_argument("--url",
+                   help="base URL of a running server (reads its "
+                        "/api/traces endpoints)")
+    p.add_argument("--graph", help="edge-list or JSON graph file "
+                                   "(local mode)")
+    p.add_argument("--vertex", action="append",
+                   help="query vertex; repeatable (local mode)")
+    p.add_argument("--algorithm", default="auto")
+    p.add_argument("-k", type=int, default=4,
+                   help="minimum degree (default 4)")
+    p.add_argument("--last", type=int, default=5,
+                   help="how many recent traces to print (default 5)")
+    p.add_argument("--shards", type=int, default=1)
+    p.add_argument("--partitioner", default="hash",
+                   choices=["hash", "greedy"])
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--backend", default="thread",
+                   choices=["thread", "process"])
+    p.add_argument("--json", action="store_true",
+                   help="print the raw trace documents")
+    p.set_defaults(func=_cmd_trace)
 
     return parser
 

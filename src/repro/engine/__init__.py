@@ -164,6 +164,7 @@ from repro.engine.sharding import (
     ShardPayload,
 )
 from repro.engine.stats import EngineStats, LatencyHistogram
+from repro.engine.tracing import QueryTrace, TraceRecorder
 
 __all__ = [
     "BACKENDS",
@@ -178,11 +179,13 @@ __all__ = [
     "ProcessBackendError",
     "QueryEngine",
     "QueryPlan",
+    "QueryTrace",
     "ResultCache",
     "ShardMergeError",
     "ShardPayload",
     "ShardedIndexManager",
     "SubproblemMemo",
+    "TraceRecorder",
     "plan_search",
     "query_key",
 ]

@@ -51,6 +51,7 @@ from concurrent.futures.process import BrokenProcessPool
 from repro.core.cltree import build_cltree
 from repro.core.kcore import connected_k_core, core_decomposition
 from repro.core.ktruss import truss_decomposition
+from repro.engine import tracing
 from repro.util.errors import EngineError, QueryTimeoutError
 
 BACKENDS = ("thread", "process")
@@ -81,10 +82,19 @@ def validate_backend(backend):
 # ----------------------------------------------------------------------
 
 def _timed_job(fn, args):
-    """Run ``fn(*args)`` and return ``(child_seconds, result)``."""
+    """Run ``fn(*args)`` and return ``(child_seconds, spans,
+    result)``.
+
+    ``spans`` is the wire-format list of tracing spans the job
+    recorded (index thaw, lazy decomposition builds, algorithm run --
+    see :func:`~repro.engine.tracing.collect_worker_spans`); the
+    parent grafts them under the query's per-shard ``worker_execute``
+    span.
+    """
     start = time.perf_counter()
-    result = fn(*args)
-    return time.perf_counter() - start, result
+    with tracing.collect_worker_spans() as log:
+        result = fn(*args)
+    return time.perf_counter() - start, log.wire(), result
 
 
 def shard_candidates_job(key, blob, k):
@@ -102,8 +112,11 @@ def shard_candidates_job(key, blob, k):
     """
     entry = _WORKER_CACHE.get(key)
     if entry is None:
-        frozen, old_ids, global_degree = pickle.loads(blob)
-        entry = (old_ids, global_degree, core_decomposition(frozen))
+        with tracing.span("index_thaw"):
+            frozen, old_ids, global_degree = pickle.loads(blob)
+        with tracing.span("core_build"):
+            entry = (old_ids, global_degree,
+                     core_decomposition(frozen))
         if len(_WORKER_CACHE) >= _WORKER_CACHE_MAX:
             _WORKER_CACHE.clear()
         _WORKER_CACHE[key] = entry
@@ -139,9 +152,11 @@ def shard_truss_job(key, blob, k):
     cache_key = (key, "truss")
     entry = _WORKER_CACHE.get(cache_key)
     if entry is None:
-        frozen, old_ids, _ = pickle.loads(blob)
-        entry = (old_ids, truss_decomposition(frozen),
-                 list(frozen.edges()))
+        with tracing.span("index_thaw"):
+            frozen, old_ids, _ = pickle.loads(blob)
+        with tracing.span("truss_build"):
+            entry = (old_ids, truss_decomposition(frozen),
+                     list(frozen.edges()))
         if len(_WORKER_CACHE) >= _WORKER_CACHE_MAX:
             _WORKER_CACHE.clear()
         _WORKER_CACHE[cache_key] = entry
@@ -171,9 +186,11 @@ def _full_graph_entry(key, payload):
     """
     entry = _WORKER_CACHE.get(key)
     if entry is None:
-        frozen = (pickle.loads(payload)
-                  if isinstance(payload, (bytes, bytearray))
-                  else payload)
+        if isinstance(payload, (bytes, bytearray)):
+            with tracing.span("index_thaw", bytes=len(payload)):
+                frozen = pickle.loads(payload)
+        else:
+            frozen = payload
         entry = {"frozen": frozen}
         if len(_WORKER_CACHE) >= _WORKER_CACHE_MAX:
             _WORKER_CACHE.clear()
@@ -185,7 +202,8 @@ def _entry_core(entry):
     """Core numbers of the entry's snapshot (computed once)."""
     core = entry.get("core")
     if core is None:
-        core = entry["core"] = core_decomposition(entry["frozen"])
+        with tracing.span("core_build"):
+            core = entry["core"] = core_decomposition(entry["frozen"])
     return core
 
 
@@ -193,8 +211,10 @@ def _entry_cltree(entry):
     """CL-tree over the entry's snapshot (built once)."""
     tree = entry.get("cltree")
     if tree is None:
-        tree = entry["cltree"] = build_cltree(entry["frozen"],
-                                              core=_entry_core(entry))
+        core = _entry_core(entry)
+        with tracing.span("cltree_build"):
+            tree = entry["cltree"] = build_cltree(entry["frozen"],
+                                                  core=core)
     return tree
 
 
@@ -202,7 +222,9 @@ def _entry_truss(entry):
     """Truss map of the entry's snapshot (computed once)."""
     truss = entry.get("truss")
     if truss is None:
-        truss = entry["truss"] = truss_decomposition(entry["frozen"])
+        with tracing.span("truss_build"):
+            truss = entry["truss"] = truss_decomposition(
+                entry["frozen"])
     return truss
 
 
@@ -275,24 +297,30 @@ def shard_full_query_job(key, payload, algorithm, q, k, keywords=None,
             index = FixedBaseIndex(frozen, q0, k, base_value)
         else:
             index = _entry_cltree(entry)
-        result = acq_search(frozen, q, k, keywords=keywords,
-                            algorithm=variant, index=index)
+        with tracing.span("algorithm", algorithm=algorithm):
+            result = acq_search(frozen, q, k, keywords=keywords,
+                                algorithm=variant, index=index)
     elif algorithm == "global":
-        result = global_search(frozen, q0, k, core=_entry_core(entry))
+        core = _entry_core(entry)
+        with tracing.span("algorithm", algorithm=algorithm):
+            result = global_search(frozen, q0, k, core=core)
     elif algorithm == "k-truss":
         truss = ({e: k for e in base_value}
                  if base_kind == "edges" else _entry_truss(entry))
-        result = truss_community_search(frozen, q0, k, truss=truss)
+        with tracing.span("algorithm", algorithm=algorithm):
+            result = truss_community_search(frozen, q0, k, truss=truss)
     elif algorithm == "atc":
         base_edges = base_value if base_kind == "edges" else None
-        result = attributed_truss_search(frozen, q, k,
-                                         keywords=keywords,
-                                         base_edges=base_edges)
+        with tracing.span("algorithm", algorithm=algorithm):
+            result = attributed_truss_search(frozen, q, k,
+                                             keywords=keywords,
+                                             base_edges=base_edges)
     else:
         # Every other registered CS algorithm takes the plain
         # protocol call (codicil, local, steiner, plug-ins).
-        result = get_cs_algorithm(algorithm)(frozen, q, k,
-                                             keywords=keywords)
+        with tracing.span("algorithm", algorithm=algorithm):
+            result = get_cs_algorithm(algorithm)(frozen, q, k,
+                                                 keywords=keywords)
     return [community.to_wire() for community in result]
 
 
@@ -315,7 +343,9 @@ def component_detect_job(key, payload, algorithm, component, params):
     if component is not None:
         frozen, _ = frozen.induced_subgraph(component)
         old_ids = list(component)  # sorted: the id map is monotone
-    result = get_cd_algorithm(algorithm)(frozen, **dict(params))
+    with tracing.span("algorithm", algorithm=algorithm,
+                      component=len(old_ids) if old_ids else None):
+        result = get_cd_algorithm(algorithm)(frozen, **dict(params))
     wires = []
     for community in result:
         vertices, method, query_vertices, k, shared = \
@@ -368,14 +398,17 @@ class ProcessBackend:
                 max_workers=self.workers, mp_context=context)
         return self._pool
 
-    def run_jobs(self, jobs, timeout=None):
+    def run_jobs(self, jobs, timeout=None, collect_spans=False):
         """Run ``(fn, args)`` jobs concurrently in worker processes.
 
         Returns ``(results, child_seconds, ipc_seconds)`` in job
         order; ``child_seconds[i]`` is job ``i``'s in-worker compute
         time, ``ipc_seconds[i]`` the rest of its round-trip (queueing
-        + pickling both ways).  Raises :class:`ProcessBackendError` on
-        a broken/unpicklable pool (callers fall back in-process) and
+        + pickling both ways).  With ``collect_spans=True`` a fourth
+        element is appended: per-job wire-format tracing span lists
+        recorded inside the workers (the engine grafts them into the
+        query's trace).  Raises :class:`ProcessBackendError` on a
+        broken/unpicklable pool (callers fall back in-process) and
         :class:`QueryTimeoutError` when ``timeout`` elapses.
         """
         pool = self._ensure()
@@ -392,6 +425,7 @@ class ProcessBackend:
         results = []
         child_seconds = []
         ipc_seconds = []
+        job_spans = []
         deadline = (time.perf_counter() + timeout
                     if timeout is not None else None)
         for i, (started, future) in enumerate(submitted):
@@ -399,7 +433,7 @@ class ProcessBackend:
             if deadline is not None:
                 budget = max(deadline - time.perf_counter(), 0.0)
             try:
-                child, result = future.result(budget)
+                child, spans, result = future.result(budget)
             except _FutureTimeout:
                 for _, later in submitted[i:]:
                     later.cancel()
@@ -421,6 +455,9 @@ class ProcessBackend:
             results.append(result)
             child_seconds.append(child)
             ipc_seconds.append(max(roundtrip - child, 0.0))
+            job_spans.append(spans)
+        if collect_spans:
+            return results, child_seconds, ipc_seconds, job_spans
         return results, child_seconds, ipc_seconds
 
     def run_build(self, frozen, core=None):

@@ -22,7 +22,10 @@ order (multi-vertex queries and keyword sets are order-insensitive).
 """
 
 import threading
+import time
 from collections import OrderedDict
+
+from repro.engine import tracing
 
 # Algorithm families for which footprint-based selective invalidation
 # is sound.  Their communities are minimum-degree subgraphs: an edge
@@ -115,26 +118,47 @@ class ResultCache:
         ``record_miss=False`` keeps a speculative probe (the engine's
         fast-path peek, which falls through to a real lookup) from
         double-counting misses.
+
+        When a query trace is active on this thread the lookup is
+        recorded as a ``cache_lookup`` span tagged with the outcome
+        (timing is only measured while traced -- the warm fast path
+        pays one thread-local read otherwise).
         """
+        trace = tracing.current_trace()
+        start = time.perf_counter() if trace is not None else 0.0
         with self._lock:
             entry = self._data.get(key)
             if entry is None:
                 if record_miss:
                     self.misses += 1
-                return None
-            self._data.move_to_end(key)
-            self.hits += 1
-            return entry.value
+            else:
+                self._data.move_to_end(key)
+                self.hits += 1
+        if trace is not None:
+            trace.add_span("cache_lookup",
+                           time.perf_counter() - start,
+                           tags={"hit": entry is not None,
+                                 "algorithm": key[1]})
+        return entry.value if entry is not None else None
 
     def put(self, key, value, vertices=None):
         """Insert ``value``; ``vertices`` is the optional footprint
-        that enables selective invalidation for this entry."""
+        that enables selective invalidation for this entry.  Recorded
+        as a ``cache_store`` span when a query trace is active."""
+        trace = tracing.current_trace()
+        start = time.perf_counter() if trace is not None else 0.0
         with self._lock:
             self._data[key] = _Entry(value, vertices)
             self._data.move_to_end(key)
             while len(self._data) > self.capacity:
                 self._data.popitem(last=False)
                 self.evictions += 1
+        if trace is not None:
+            trace.add_span("cache_store",
+                           time.perf_counter() - start,
+                           tags={"algorithm": key[1],
+                                 "footprint": len(vertices)
+                                 if vertices else 0})
 
     def invalidate(self, graph_name=None, affected=None,
                    truss_affected=None):
@@ -176,7 +200,15 @@ class ResultCache:
                 del self._data[key]
                 self.invalidations_by_reason[reason] += 1
             self.invalidations += len(stale)
-            return len(stale)
+            evicted = len(stale)
+            reason_counts = {}
+            for reason in reasons:
+                reason_counts[reason] = reason_counts.get(reason, 0) + 1
+        # Attributable in traces too: a maintenance event landing
+        # inside a traced request shows up with its eviction reasons.
+        tracing.add_span("cache_invalidate", 0.0, evicted=evicted,
+                         reasons=reason_counts)
+        return evicted
 
     def __len__(self):
         with self._lock:

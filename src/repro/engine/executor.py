@@ -59,6 +59,8 @@ from repro.engine.backends import (
 from repro.engine.cache import ResultCache, SubproblemMemo
 from repro.engine.index_manager import IndexManager
 from repro.engine.stats import EngineStats
+from repro.engine import tracing
+from repro.engine.tracing import TraceRecorder
 from repro.util.errors import (
     CExplorerError,
     EngineBusyError,
@@ -73,7 +75,8 @@ class EngineFuture:
     """A minimal future for engine jobs (stdlib-free by design: the
     queue needs admission control ``concurrent.futures`` lacks)."""
 
-    __slots__ = ("_event", "_lock", "_state", "_value", "_exception")
+    __slots__ = ("_event", "_lock", "_state", "_value", "_exception",
+                 "trace")
 
     def __init__(self):
         self._event = threading.Event()
@@ -81,6 +84,11 @@ class EngineFuture:
         self._state = _PENDING
         self._value = None
         self._exception = None
+        # The QueryTrace attached by the search path (None for plain
+        # submissions or when tracing is disabled); the HTTP layer
+        # reads it back to add the request-level span and return the
+        # query id to the client.
+        self.trace = None
 
     @classmethod
     def resolved(cls, value):
@@ -152,16 +160,18 @@ class EngineFuture:
 
 class _Job:
     __slots__ = ("fn", "args", "kwargs", "future", "op", "deadline",
-                 "submitted_at")
+                 "submitted_at", "trace")
 
-    def __init__(self, fn, args, kwargs, op, deadline):
+    def __init__(self, fn, args, kwargs, op, deadline, trace=None):
         self.fn = fn
         self.args = args
         self.kwargs = kwargs
         self.future = EngineFuture()
+        self.future.trace = trace
         self.op = op
         self.deadline = deadline
         self.submitted_at = time.perf_counter()
+        self.trace = trace
 
 
 _SHUTDOWN = object()
@@ -177,7 +187,9 @@ class QueryEngine:
 
     def __init__(self, explorer=None, workers=2, max_queue=64,
                  default_timeout=None, cache_size=512,
-                 index_manager=None, memo_size=128, backend="thread"):
+                 index_manager=None, memo_size=128, backend="thread",
+                 trace_capacity=256, slow_query_seconds=1.0,
+                 tracing_enabled=True):
         if workers < 1:
             raise ValueError("workers must be positive")
         if max_queue < 1:
@@ -192,6 +204,9 @@ class QueryEngine:
         self.cache = ResultCache(cache_size)
         self.memo = SubproblemMemo(memo_size)
         self.stats = EngineStats()
+        self.tracer = TraceRecorder(capacity=trace_capacity,
+                                    slow_seconds=slow_query_seconds,
+                                    enabled=tracing_enabled)
         self._queue = queue.Queue(max_queue)
         self._threads = []
         self._in_flight = 0
@@ -282,22 +297,27 @@ class QueryEngine:
 
         Keyword-only extras: ``op`` labels the latency histogram,
         ``timeout`` sets the deadline (falls back to
-        ``default_timeout``).  Raises :class:`EngineBusyError` at once
-        when the queue is full.
+        ``default_timeout``), ``trace`` attaches a
+        :class:`~repro.engine.tracing.QueryTrace` that the executing
+        worker will activate and finish.  Raises
+        :class:`EngineBusyError` at once when the queue is full.
         """
         op = kwargs.pop("op", "job")
         timeout = kwargs.pop("timeout", self.default_timeout)
+        trace = kwargs.pop("trace", None)
         if self._shutdown:
+            self.tracer.finish(trace, "rejected")
             raise EngineBusyError("engine is shut down")
         self._ensure_started()
         deadline = (time.perf_counter() + timeout
                     if timeout is not None else None)
-        job = _Job(fn, args, kwargs, op, deadline)
+        job = _Job(fn, args, kwargs, op, deadline, trace=trace)
         self.stats.count("submitted")
         try:
             self._queue.put_nowait(job)
         except queue.Full:
             self.stats.count("rejected")
+            self.tracer.finish(trace, "rejected")
             raise EngineBusyError(
                 "engine queue full ({} waiting); retry later"
                 .format(self.max_queue)) from None
@@ -354,15 +374,35 @@ class QueryEngine:
         Cache hits resolve immediately without touching the queue, so
         a warm interactive workload is never throttled by admission
         control.  Requires an attached explorer.
+
+        Cache misses record a :class:`~repro.engine.tracing.
+        QueryTrace` (unless the recorder is disabled), attached to the
+        returned future as ``future.trace`` and handed to the
+        executing worker through the job.  Cache *hits* deliberately
+        skip tracing: a hit is answered in microseconds and the full
+        trace lifecycle (allocation, locks, ring publish) would
+        multiply its cost -- and traces exist to attribute slow
+        queries, which a warm hit never is.  ``future.trace`` is
+        ``None`` on the hit path.
         """
         explorer = self._require_explorer()
+        probe_started = time.perf_counter()
         cached = explorer.peek_cached(algorithm, vertex, k=k,
                                       keywords=keywords, **params)
         if cached is not None:
             return EngineFuture.resolved(cached)
+        trace = self.tracer.begin("search", algorithm=algorithm,
+                                  vertex=str(vertex), k=k)
+        if trace is not None:
+            trace.tag(cache="miss")
+            # The pre-submit plan + cache probe, measured cheaply
+            # outside any trace context and attached post hoc.
+            trace.add_span("cache_lookup",
+                           time.perf_counter() - probe_started,
+                           parent=None, tags={"hit": False})
         return self.submit(explorer.search, algorithm, vertex, k=k,
                            keywords=keywords, op="search",
-                           timeout=timeout, **params)
+                           timeout=timeout, trace=trace, **params)
 
     def search_sync(self, algorithm, vertex, k=4, keywords=None,
                     timeout=None, **params):
@@ -423,7 +463,9 @@ class QueryEngine:
                     if future is not None:
                         self.stats.count("shards_inline")
                     try:
-                        elapsed, value = wrapped()
+                        with tracing.span("worker_execute", shard=i,
+                                          backend="inline"):
+                            elapsed, value = wrapped()
                     except BaseException as exc:
                         if future is not None:
                             future.set_exception(exc)
@@ -433,6 +475,11 @@ class QueryEngine:
                     self.stats.observe(op, elapsed)
                 else:
                     elapsed, value = future.result(self.default_timeout)
+                    # The shard ran on another worker thread (outside
+                    # this trace's context); record its measured span
+                    # from here so the fan-out is still attributable.
+                    tracing.add_span("worker_execute", elapsed,
+                                     shard=i, backend="thread")
             except BaseException:
                 # Don't orphan the rest of the fan-out in the shared
                 # queue: unclaimed siblings are cancelled (running
@@ -470,16 +517,25 @@ class QueryEngine:
         """
         pool = self._process
         if pool is not None:
+            trace = tracing.current_trace()
             try:
-                results, child_seconds, ipc_seconds = pool.run_jobs(
-                    jobs, timeout=self.default_timeout)
+                results, child_seconds, ipc_seconds, spans = \
+                    pool.run_jobs(jobs, timeout=self.default_timeout,
+                                  collect_spans=True)
             except ProcessBackendError:
                 self.stats.count("process_fallbacks")
             else:
                 with_stats = zip(child_seconds, ipc_seconds)
-                for child, ipc in with_stats:
+                for i, (child, ipc) in enumerate(with_stats):
                     self.stats.observe(op, child)
                     self.stats.observe("shard_ipc", ipc)
+                    if trace is not None:
+                        index = trace.add_span(
+                            "worker_execute", child,
+                            tags={"shard": i, "backend": "process"})
+                        trace.graft(index, spans[i])
+                        trace.add_span("shard_ipc", ipc,
+                                       tags={"shard": i})
                 if graph is not None:
                     self.stats.observe_fanout(graph, child_seconds)
                 return results
@@ -489,7 +545,9 @@ class QueryEngine:
             # run it here and keep only the stats.
             fn, args = jobs[0]
             start = time.perf_counter()
-            result = fn(*args)
+            with tracing.span("worker_execute", shard=0,
+                              backend="inline"):
+                result = fn(*args)
             self.stats.observe(op, time.perf_counter() - start)
             return [result]
         fns = [lambda fn=fn, args=args: fn(*args) for fn, args in jobs]
@@ -651,32 +709,47 @@ class QueryEngine:
             if job is _SHUTDOWN:
                 return
             future = job.future
+            trace = job.trace
             if not future.set_running():
                 # Either cancelled by the caller, or a fan-out
                 # coordinator claimed (stole) the job and ran it
                 # inline before this worker got to it.
-                self.stats.count("cancelled" if future.cancelled()
-                                 else "stolen")
+                if future.cancelled():
+                    self.stats.count("cancelled")
+                    self.tracer.finish(trace, "cancelled")
+                else:
+                    self.stats.count("stolen")
                 continue
+            queue_wait = time.perf_counter() - job.submitted_at
             # Deadline check only after winning the claim: a stolen
             # job already completed elsewhere and must not be counted
             # (or marked) as timed out.
             if (job.deadline is not None
                     and time.perf_counter() > job.deadline):
                 self.stats.count("timeouts")
+                if trace is not None:
+                    trace.add_span("queue_wait", queue_wait,
+                                   parent=None)
+                    self.tracer.finish(trace, "timeout")
                 future.set_exception(QueryTimeoutError(
                     "query spent its deadline waiting in the queue"))
                 continue
+            if trace is not None:
+                trace.add_span("queue_wait", queue_wait, parent=None)
             with self._lifecycle:
                 self._in_flight += 1
             start = time.perf_counter()
             try:
-                result = job.fn(*job.args, **job.kwargs)
+                with tracing.activate(trace), \
+                        tracing.span("execute", op=job.op):
+                    result = job.fn(*job.args, **job.kwargs)
             except BaseException as exc:
                 self.stats.count("errors")
+                self.tracer.finish(trace, "error")
                 future.set_exception(exc)
             else:
                 self.stats.count("completed")
+                self.tracer.finish(trace, "ok")
                 future.set_result(result)
             finally:
                 elapsed = time.perf_counter() - start
@@ -716,6 +789,7 @@ class QueryEngine:
             "cache": self.cache.stats(),
             "memo": self.memo.stats(),
             "truss": self.indexes.truss_stats(),
+            "traces": self.tracer.stats(),
         })
         if self.explorer is not None:
             names = self.indexes.names()

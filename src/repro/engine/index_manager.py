@@ -49,6 +49,7 @@ from repro.core.truss_maintenance import (
     TrussMaintainer,
     truss_affected_vertices,
 )
+from repro.engine import tracing
 from repro.graph.frozen import FrozenGraph
 from repro.util.errors import CExplorerError
 
@@ -114,8 +115,9 @@ class GraphPayload:
     def blob(self):
         """The pickled snapshot (serialised once, on first use)."""
         if self._blob is None:
-            self._blob = pickle.dumps(self.frozen,
-                                      protocol=pickle.HIGHEST_PROTOCOL)
+            with tracing.span("payload_pickle"):
+                self._blob = pickle.dumps(
+                    self.frozen, protocol=pickle.HIGHEST_PROTOCOL)
         return self._blob
 
 
@@ -315,7 +317,8 @@ class IndexManager:
         # below keeps the cache coherent, and a racing bump simply
         # leaves the payload unpublished -- the in-flight query may
         # still use its consistent snapshot of the prior state.
-        frozen = FrozenGraph.from_graph(graph)
+        with tracing.span("payload_freeze", graph=name):
+            frozen = FrozenGraph.from_graph(graph)
         payload = GraphPayload(
             (self._payload_epoch, name, "full", version), version,
             frozen, 0.0)
@@ -463,6 +466,7 @@ class IndexManager:
             core = self.core(name)
             cltree = build_cltree(graph, core=core)
         build_seconds = time.perf_counter() - start
+        tracing.add_span("index_build", build_seconds, graph=name)
         # Compatibility: callers historically read build time off the
         # tree itself.
         cltree.build_seconds = build_seconds

@@ -83,6 +83,7 @@ from repro.engine.backends import (
     shard_candidates_job,
     shard_truss_job,
 )
+from repro.engine import tracing
 from repro.engine.index_manager import IndexManager
 from repro.engine.plans import FANOUT_ALGORITHMS, TRUSS_FAMILY
 from repro.graph.frozen import FrozenGraph
@@ -550,14 +551,17 @@ class ShardedIndexManager(IndexManager):
             sub = part.graphs[shard]
             mapping = part.old_to_new[shard]
             graph = self.graph(name)
-            frozen = FrozenGraph.from_graph(sub)
+            with tracing.span("payload_freeze", graph=name,
+                              shard=shard):
+                frozen = FrozenGraph.from_graph(sub)
             old_ids = [0] * len(mapping)
             for old, new in mapping.items():
                 old_ids[new] = old
             global_degree = [graph.degree(old) for old in old_ids]
         # The (immutable) snapshot pickles outside the lock.
-        blob = pickle.dumps((frozen, old_ids, global_degree),
-                            protocol=pickle.HIGHEST_PROTOCOL)
+        with tracing.span("payload_pickle", graph=name, shard=shard):
+            blob = pickle.dumps((frozen, old_ids, global_degree),
+                                protocol=pickle.HIGHEST_PROTOCOL)
         payload = ShardPayload(
             (self._payload_epoch, name, shard, version), version, blob,
             time.perf_counter() - start)
@@ -849,10 +853,11 @@ def sharded_structural_community(engine, name, q, k):
             ]
             reports, _ = engine.map_shards(jobs, graph=name)
         extra = range(len(partition.assignment), graph.vertex_count)
-        component = merge_shard_reports(graph, reports, q, k,
-                                        extra_vertices=extra)
-        if component is not None:
-            verify_boundary(graph, partition, component, k)
+        with tracing.span("merge", shards=partition.shards, kind="core"):
+            component = merge_shard_reports(graph, reports, q, k,
+                                            extra_vertices=extra)
+            if component is not None:
+                verify_boundary(graph, partition, component, k)
         return component
     except (QueryTimeoutError, QueryCancelledError):
         # Deadline/cancellation signals belong to admission control;
@@ -1035,10 +1040,11 @@ def _compute_sharded_truss_edge_set(engine, name, k):
     supports_fn = getattr(indexes, "cut_edge_supports", None)
     known_supports = supports_fn(name, extra) \
         if supports_fn is not None else None
-    strong, suspects = merge_truss_reports(graph, reports, k,
-                                           extra_edges=extra,
-                                           known_supports=known_supports)
-    verify_truss_boundary(graph, strong, suspects, k)
+    with tracing.span("merge", shards=partition.shards, kind="truss"):
+        strong, suspects = merge_truss_reports(
+            graph, reports, k, extra_edges=extra,
+            known_supports=known_supports)
+        verify_truss_boundary(graph, strong, suspects, k)
     return strong
 
 

@@ -25,6 +25,12 @@ behaviour.
 
 import threading
 import time
+from collections import deque
+
+# Completion timestamps are kept for this long to compute the
+# recent-window throughput: the lifetime completions/uptime ratio
+# decays toward zero on an idle server, which is useless for alerting.
+RECENT_WINDOW_SECONDS = 60.0
 
 # Bucket upper bounds in seconds; the last bucket is open-ended.  A
 # decade-per-3-buckets geometric ladder from 100us to 100s covers both
@@ -72,24 +78,47 @@ class LatencyHistogram:
             self._reservoir[self._next] = seconds
             self._next = (self._next + 1) % self._reservoir_size
 
-    def percentile(self, p):
-        """The ``p``-th percentile (0..100) over the sample window."""
-        if not self._reservoir:
-            return 0.0
-        ordered = sorted(self._reservoir)
+    @staticmethod
+    def _rank(ordered, p):
+        """The ``p``-th percentile from an already-sorted sample list
+        (rank clamped into the list, so p<=0 is the min and p>=100 the
+        max)."""
         rank = max(0, min(len(ordered) - 1,
                           int(round(p / 100.0 * (len(ordered) - 1)))))
         return ordered[rank]
 
+    def percentile(self, p):
+        """The ``p``-th percentile (0..100) over the sample window."""
+        if not self._reservoir:
+            return 0.0
+        return self._rank(sorted(self._reservoir), p)
+
     def snapshot(self):
-        """Count, mean and p50/p95/max over the sample window (ms)."""
+        """Count, mean, p50/p95/max (ms) and the log-scale buckets.
+
+        The reservoir is sorted once and both percentiles are read
+        from the same ordered list.  ``buckets`` pairs each upper
+        bound in seconds with its (non-cumulative) count; the final
+        open-ended bucket has bound ``None`` -- exactly what the
+        Prometheus exposition needs to build cumulative ``le`` series.
+        """
         mean = self.total / self.count if self.count else 0.0
+        if self._reservoir:
+            ordered = sorted(self._reservoir)
+            p50 = self._rank(ordered, 50)
+            p95 = self._rank(ordered, 95)
+        else:
+            p50 = p95 = 0.0
+        edges = list(BUCKET_EDGES) + [None]
         return {
             "count": self.count,
             "mean_ms": round(mean * 1000, 3),
-            "p50_ms": round(self.percentile(50) * 1000, 3),
-            "p95_ms": round(self.percentile(95) * 1000, 3),
+            "p50_ms": round(p50 * 1000, 3),
+            "p95_ms": round(p95 * 1000, 3),
             "max_ms": round(self.max * 1000, 3),
+            "total_seconds": round(self.total, 6),
+            "buckets": [[edge, count]
+                        for edge, count in zip(edges, self.buckets)],
         }
 
 
@@ -101,6 +130,7 @@ class EngineStats:
         self._counters = {}
         self._histograms = {}
         self._fanouts = {}
+        self._completions = deque()
         self.started_at = time.time()
 
     def count(self, name, n=1):
@@ -115,11 +145,21 @@ class EngineStats:
 
     def observe(self, op, seconds):
         """Record one ``op`` execution that took ``seconds``."""
+        now = time.time()
         with self._lock:
             hist = self._histograms.get(op)
             if hist is None:
                 hist = self._histograms[op] = LatencyHistogram()
             hist.record(seconds)
+            self._completions.append(now)
+            self._prune(now)
+
+    def _prune(self, now):
+        """Drop completion timestamps older than the recent window
+        (caller holds the lock)."""
+        horizon = now - RECENT_WINDOW_SECONDS
+        while self._completions and self._completions[0] < horizon:
+            self._completions.popleft()
 
     def observe_fanout(self, graph, seconds):
         """Record one sharded fan-out over ``graph``: ``seconds[i]``
@@ -151,11 +191,16 @@ class EngineStats:
     def snapshot(self):
         """One JSON-friendly dict: counters, latency, throughput."""
         with self._lock:
-            elapsed = max(time.time() - self.started_at, 1e-9)
+            now = time.time()
+            elapsed = max(now - self.started_at, 1e-9)
             completed = sum(h.count for h in self._histograms.values())
+            self._prune(now)
+            window = max(min(elapsed, RECENT_WINDOW_SECONDS), 1e-9)
             doc = {
                 "uptime_seconds": round(elapsed, 3),
                 "throughput_per_second": round(completed / elapsed, 4),
+                "throughput_recent_per_second": round(
+                    len(self._completions) / window, 4),
                 "counters": dict(self._counters),
                 "latency": {op: hist.snapshot()
                             for op, hist in self._histograms.items()},

@@ -35,6 +35,7 @@ from repro.analysis.comparison import compare_methods
 from repro.analysis.graph_stats import graph_summary
 from repro.analysis.metrics import cmf, community_conductance, \
     community_density, cpj
+from repro.engine import tracing
 from repro.engine.executor import QueryEngine
 from repro.engine.plans import plan_search
 from repro.engine.sharding import ShardedIndexManager
@@ -308,6 +309,11 @@ class CExplorer:
         except CExplorerError:
             return None
         name = self._current
+        # Deliberately untraced: this probe runs on every cache hit,
+        # where even a no-op span context costs real money; on misses
+        # the engine attaches the whole probe as one post-hoc
+        # ``cache_lookup`` span and the executing worker records the
+        # authoritative ``plan`` span.
         plan = plan_search(algorithm, self.graph,
                            index_ready=self.indexes.built(name),
                            keywords=keywords,
@@ -328,17 +334,36 @@ class CExplorer:
         footprint recorded, so maintenance updates evict exactly the
         entries they could have changed -- unless extra ``params`` are
         given or ``use_cache=False``.
+
+        Every search runs under a query trace: when the engine's
+        queue path submitted this call its trace is already active on
+        the thread; direct library calls open (and finish) a root
+        trace of their own through the engine's recorder.
         """
-        graph = self.graph
         name = self._require_current()
+        with self.engine.tracer.trace("search", graph=name,
+                                      algorithm=algorithm, k=k) as trace:
+            return self._search_planned(trace, name, algorithm, vertex,
+                                        k, keywords, use_cache, params)
+
+    def _search_planned(self, trace, name, algorithm, vertex, k,
+                        keywords, use_cache, params):
+        """The traced body of :meth:`search` (``trace`` may be
+        ``None`` when the recorder is disabled)."""
+        graph = self.graph
         q = self._resolve_query(vertex)
-        plan = plan_search(algorithm, graph,
-                           index_ready=self.indexes.built(name),
-                           keywords=keywords,
-                           shards=self.indexes.shards(name),
-                           full_payload=self.engine.full_query_capable(
-                               name))
+        with tracing.span("plan", graph=name):
+            plan = plan_search(algorithm, graph,
+                               index_ready=self.indexes.built(name),
+                               keywords=keywords,
+                               shards=self.indexes.shards(name),
+                               full_payload=self.engine
+                               .full_query_capable(name))
         algo = get_cs_algorithm(plan.algorithm)
+        if trace is not None:
+            trace.tag(graph=name, algorithm=plan.algorithm, k=k,
+                      fanout=plan.fanout,
+                      worker_full_query=plan.worker_full_query)
         cache_key = None
         if use_cache and not params:
             cache_key = self.cache.key(name, algo.name, q, k, keywords)
@@ -421,26 +446,30 @@ class CExplorer:
         """
         algo = get_cd_algorithm(algorithm)
         name = self._require_current()
-        if per_component or self.engine.full_query_capable(name):
-            try:
-                return self.engine.detect(name, algo.name,
-                                          params=params,
-                                          per_component=per_component)
-            except (QueryError, EngineError):
-                raise
-            except (CExplorerError, TypeError, IndexError, KeyError,
-                    RuntimeError):
-                # Per-component output is a plan of its own (it only
-                # coincides with whole-graph detection on connected
-                # graphs), so an explicit request for it must never
-                # silently degrade to the inline whole-graph run.
-                if per_component:
+        with self.engine.tracer.trace(
+                "detect", graph=name, algorithm=algo.name,
+                per_component=per_component or None):
+            if per_component or self.engine.full_query_capable(name):
+                try:
+                    return self.engine.detect(
+                        name, algo.name, params=params,
+                        per_component=per_component)
+                except (QueryError, EngineError):
                     raise
-                # Unregistered-name race, unpicklable params, or a
-                # snapshot torn by an out-of-gateway mutation: run
-                # inline, visibly.
-                self.engine.stats.count("full_query_fallbacks")
-        return algo(self.graph, **params)
+                except (CExplorerError, TypeError, IndexError,
+                        KeyError, RuntimeError):
+                    # Per-component output is a plan of its own (it
+                    # only coincides with whole-graph detection on
+                    # connected graphs), so an explicit request for it
+                    # must never silently degrade to the inline
+                    # whole-graph run.
+                    if per_component:
+                        raise
+                    # Unregistered-name race, unpicklable params, or a
+                    # snapshot torn by an out-of-gateway mutation: run
+                    # inline, visibly.
+                    self.engine.stats.count("full_query_fallbacks")
+            return algo(self.graph, **params)
 
     # ------------------------------------------------------------------
     # analysis

@@ -19,7 +19,22 @@ Endpoints (all JSON; POST bodies are JSON documents):
 ``GET  /api/stats``       whole-graph statistics (the dataset panel)
 ``POST /api/history``     ``{"session": id}`` -> that session's query trail
 ``GET  /api/metrics``     operational metrics (requests, cache, uptime)
+``GET  /metrics``         the same metrics as Prometheus text exposition
+``GET  /api/traces``      recent query traces (``?limit=N``) + slow log
+``GET  /api/traces/<id>`` one full trace: the span tree of that query
 ========================  ====================================================
+
+``/api/metrics`` is the JSON metrics document (machine-readable but
+repro-shaped); ``/metrics`` renders the same numbers -- request
+counters, engine event counters, the per-operation log-scale latency
+histograms, cache and trace counters -- in the Prometheus text
+exposition format (version 0.0.4) so a standard scraper can ingest
+them without an adapter.  Every query handled by ``/api/search`` (and
+``/api/display``) is traced end to end; the response carries the
+trace id under ``"trace"`` and ``GET /api/traces/<id>`` returns the
+span waterfall (planning, queue wait, cache probes, payload
+freeze/pickle, per-shard worker execution with worker-side sub-spans,
+merge, cache store).
 
 ``/api/metrics`` embeds the full engine snapshot: the active execution
 ``backend`` (``thread`` or ``process``), per-shard fan-out latency and
@@ -51,7 +66,9 @@ import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
+from repro.engine.tracing import render_prometheus
 from repro.explorer.cexplorer import CExplorer
 from repro.explorer.sessions import SessionStore
 from repro.server.html import INDEX_HTML
@@ -164,6 +181,19 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _query_int(self, key, default):
+        """An integer query-string parameter (``?key=N``), or
+        ``default`` when absent or malformed."""
+        if "?" not in self.path:
+            return default
+        values = parse_qs(self.path.split("?", 1)[1]).get(key)
+        if not values:
+            return default
+        try:
+            return int(values[0])
+        except ValueError:
+            return default
+
     def _json_body(self):
         length = int(self.headers.get("Content-Length") or 0)
         if length == 0:
@@ -184,6 +214,33 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if method == "GET" and path == "/api/metrics":
                 self._send(200, self.server.metrics())
+                return
+            if method == "GET" and path == "/metrics":
+                text = render_prometheus(self.server.metrics())
+                self._send(200, text.encode("utf-8"),
+                           content_type="text/plain; version=0.0.4; "
+                                        "charset=utf-8")
+                return
+            if method == "GET" and path == "/api/traces":
+                tracer = self.server.engine.tracer
+                limit = self._query_int("limit", 50)
+                self._send(200, {
+                    "traces": [t.summary()
+                               for t in tracer.traces(limit=limit)],
+                    "slow": [t.summary()
+                             for t in tracer.traces(limit=limit,
+                                                    slow=True)],
+                    "stats": tracer.stats(),
+                })
+                return
+            if method == "GET" and path.startswith("/api/traces/"):
+                query_id = path.rsplit("/", 1)[1]
+                trace = self.server.engine.tracer.get(query_id)
+                if trace is None:
+                    self._send(404, {"error": "no trace {!r} in the "
+                                     "ring buffer".format(query_id)})
+                else:
+                    self._send(200, trace.to_dict())
                 return
             if method == "GET" and path == "/":
                 self._send(200, INDEX_HTML.encode("utf-8"),
@@ -274,13 +331,32 @@ class _Handler(BaseHTTPRequestHandler):
         k = int(body.get("k", 4))
         algorithm = body.get("algorithm", "acq")
         keywords = body.get("keywords")
+        engine = self.server.engine
+        started = time.time()
+        start = time.perf_counter()
         # Cache hits resolve inline; misses run on the worker pool
         # with the server deadline (timeouts cancel the queued job).
-        communities = self.server.engine.search_sync(
-            algorithm, vertex, k=k, keywords=keywords,
-            timeout=self.server.query_timeout)
-        return communities, {"vertex": vertex, "k": k,
-                             "algorithm": algorithm, "keywords": keywords}
+        future = engine.search(algorithm, vertex, k=k,
+                               keywords=keywords,
+                               timeout=self.server.query_timeout)
+        try:
+            communities = future.result(self.server.query_timeout)
+        except QueryTimeoutError:
+            future.cancel()
+            engine.stats.count("timeouts")
+            raise
+        query = {"vertex": vertex, "k": k, "algorithm": algorithm,
+                 "keywords": keywords}
+        trace = future.trace
+        if trace is not None:
+            # The request-level span: end-to-end as the handler saw
+            # it, a top-level sibling of the engine's own spans (so
+            # queue + execute + the request envelope are separable).
+            trace.add_span("request", time.perf_counter() - start,
+                           start=started, parent=None,
+                           tags={"path": self.path.split("?", 1)[0]})
+            query["trace"] = trace.query_id
+        return communities, query
 
     def _api_search(self, explorer, body):
         communities, query = self._run_search(explorer, body)
