@@ -508,6 +508,117 @@ def test_engine_vs_direct(benchmark, dblp, dblp_index, quick):
     }, quick=quick)
 
 
+def test_concurrent_serving(benchmark, dblp, quick):
+    """The serving acceptance shape: the asyncio front-end with
+    cross-query batching answers a concurrent overlapping workload
+    >= 1.5x faster than the thread-per-request baseline.
+
+    The workload is the thundering herd the batcher exists for: in
+    each round, every client POSTs the same ``/v1/search`` at the
+    same instant (a barrier), so none of them can be saved by the
+    result cache -- the baseline pays one full search per client,
+    the batched server one per round.  Both variants run over real
+    HTTP against a fresh explorer; responses must be identical.
+    """
+    import json as _json
+    import threading
+    import urllib.request
+
+    from repro.server.app import make_server
+    from repro.server.async_app import make_async_server
+
+    clients = 4 if quick else 8
+    rounds = 2 if quick else 4
+    pool = pick_query_vertices(dblp, K, rounds, seed=41)
+
+    def run_variant(kind):
+        explorer = CExplorer(workers=2,
+                             max_queue=clients * rounds + 8)
+        explorer.add_graph("dblp", dblp, build="eager")
+        if kind == "async_batched":
+            server = make_async_server(explorer, port=0,
+                                       batch_window=0.02)
+            server.start_background()
+        else:
+            server = make_server(explorer, port=0)  # batching off
+            threading.Thread(target=server.serve_forever,
+                             daemon=True).start()
+        base = "http://127.0.0.1:{}".format(server.server_address[1])
+        barrier = threading.Barrier(clients + 1)
+        answers = [[] for _ in range(clients)]
+
+        def client(i):
+            for q in pool:
+                barrier.wait()
+                req = urllib.request.Request(
+                    base + "/v1/search",
+                    data=_json.dumps({"vertex": q, "k": K}).encode(),
+                    headers={"Content-Type": "application/json"})
+                with urllib.request.urlopen(req, timeout=120) as resp:
+                    doc = _json.loads(resp.read())
+                answers[i].append(_json.dumps(
+                    doc["data"]["communities"], sort_keys=True))
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(clients)]
+        for t in threads:
+            t.start()
+        start = time.perf_counter()
+        for _ in pool:
+            barrier.wait()                   # release one round
+        for t in threads:
+            t.join()
+        seconds = time.perf_counter() - start
+        stats = explorer.engine.stats
+        shared = stats.get("shared_answers")
+        batches = stats.get("batches")
+        try:
+            server.shutdown()
+        finally:
+            explorer.engine.shutdown()
+        return seconds, answers, {"shared_answers": shared,
+                                  "batches": batches}
+
+    def run():
+        baseline_s, baseline_out, _ = run_variant("thread_per_request")
+        batched_s, batched_out, stats = run_variant("async_batched")
+        assert baseline_out == batched_out
+        return {
+            "clients": clients,
+            "rounds": rounds,
+            "requests": clients * rounds,
+            "thread_per_request_seconds": round(baseline_s, 6),
+            "async_batched_seconds": round(batched_s, 6),
+            "speedup": round(baseline_s / batched_s, 2) if batched_s
+            else float("inf"),
+            "batching": stats,
+        }
+
+    doc = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The batcher really coalesced the herd: most answers were shared
+    # from a leader's execution rather than recomputed.
+    assert doc["batching"]["shared_answers"] >= \
+        (clients - 1) * rounds // 2, doc
+    # The acceptance floor: >= 1.5x serving throughput for >= 8
+    # concurrent overlapping clients.  The quick pool is too small to
+    # amortise server startup, so it only guards against gross loss.
+    if quick:
+        assert doc["speedup"] >= 0.5, doc
+    else:
+        assert doc["speedup"] >= 1.5, doc
+    write_artifact("serving.json", json.dumps(doc, indent=2))
+    update_bench_trajectory("serving", {
+        "clients": clients,
+        "rounds": rounds,
+        "seconds": {
+            "thread_per_request": doc["thread_per_request_seconds"],
+            "async_batched": doc["async_batched_seconds"],
+        },
+        "shared_answers": doc["batching"]["shared_answers"],
+        "speedup": doc["speedup"],
+    }, quick=quick)
+
+
 def test_tracing_overhead(benchmark, dblp, quick):
     """Query tracing must be free on the warm-cache fast path.
 

@@ -13,7 +13,10 @@ compute, which hold their meaning across pool sizes and runners:
 * ``engine.speedup_warm_vs_direct`` -- warm-cache throughput vs
   direct execution (higher is better);
 * ``truss_maintenance.warm_hit_rate.selective`` -- selective
-  invalidation's warm hit rate (higher is better).
+  invalidation's warm hit rate (higher is better);
+* ``serving.speedup`` -- async+batched serving throughput vs the
+  thread-per-request baseline on the concurrent overlapping workload
+  (higher is better).
 
 Usage: ``python scripts/check_bench_regression.py [--threshold 0.2]``
 (run after the bench has written the current commit's entry).  Exits
@@ -43,6 +46,8 @@ METRICS = (
      "warm cache speedup vs direct"),
     (("truss_maintenance", "warm_hit_rate", "selective"),
      "selective truss warm hit rate"),
+    (("serving", "speedup"),
+     "async+batched serving speedup vs thread-per-request"),
 )
 
 

@@ -10,6 +10,7 @@ Subcommands mirror the paper's API (Figure 4) plus operational verbs::
     python -m repro profile  --name "Michael Stonebraker"
     python -m repro partition --graph dblp.json --shards 4
     python -m repro serve    --graph dblp.json --port 8080 --shards 4
+    python -m repro serve    --graph dblp.json --server async
     python -m repro trace    --graph dblp.json --vertex "jim gray"
     python -m repro trace    --url http://127.0.0.1:8080 --last 5
 
@@ -160,24 +161,32 @@ def _cmd_trace(args):
     """Print a span waterfall for the last N query traces.
 
     Two modes: ``--url`` fetches traces from a running server's
-    ``/api/traces`` endpoints; ``--graph`` (with one or more
-    ``--vertex``) runs the searches locally and prints the traces the
-    engine recorded.
+    ``/v1/traces`` endpoints (unwrapping the ``{"ok", "data",
+    "error"}`` envelope); ``--graph`` (with one or more ``--vertex``)
+    runs the searches locally and prints the traces the engine
+    recorded.
     """
     from repro.engine.tracing import format_waterfall
 
-    docs = []
-    if args.url:
+    def v1_data(url):
         import urllib.request
 
+        with urllib.request.urlopen(url) as fh:
+            doc = json.loads(fh.read().decode("utf-8"))
+        if not doc.get("ok", False):
+            error = doc.get("error") or {}
+            raise CExplorerError("server error {}: {}".format(
+                error.get("code", "?"), error.get("message", "?")))
+        return doc["data"]
+
+    docs = []
+    if args.url:
         base = args.url.rstrip("/")
-        with urllib.request.urlopen(
-                "{}/api/traces?limit={}".format(base, args.last)) as fh:
-            listing = json.loads(fh.read().decode("utf-8"))
+        listing = v1_data("{}/v1/traces?limit={}".format(base,
+                                                        args.last))
         for summary in listing.get("traces", []):
-            with urllib.request.urlopen("{}/api/traces/{}".format(
-                    base, summary["query_id"])) as fh:
-                docs.append(json.loads(fh.read().decode("utf-8")))
+            docs.append(v1_data("{}/v1/traces/{}".format(
+                base, summary["query_id"])))
     else:
         if not args.graph or not args.vertex:
             raise CExplorerError(
@@ -204,7 +213,29 @@ def _cmd_trace(args):
 def _cmd_serve(args):
     explorer = _load_explorer(args)
     explorer.index()
-    server = make_server(explorer, host=args.host, port=args.port)
+    window = args.batch_window if args.batch_window >= 0 else None
+    if args.server == "async":
+        from repro.server.async_app import make_async_server
+
+        server = make_async_server(
+            explorer, host=args.host, port=args.port,
+            batch_window=window if window is not None else 0.005)
+        server.start_background()
+        host, port = server.server_address
+        print("C-Explorer serving on http://{}:{}/ (asyncio, "
+              "batch window {:.1f}ms)".format(
+                  host, port,
+                  (server.state.batcher.window * 1000)
+                  if server.state.batcher else 0.0))
+        try:
+            import time as _time
+            while True:
+                _time.sleep(3600)
+        except KeyboardInterrupt:
+            server.shutdown()
+        return 0
+    server = make_server(explorer, host=args.host, port=args.port,
+                         batch_window=window)
     host, port = server.server_address
     print("C-Explorer serving on http://{}:{}/".format(host, port))
     try:
@@ -298,6 +329,14 @@ def build_parser():
     common(p, with_vertex=False)
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=8080)
+    p.add_argument("--server", default="sync",
+                   choices=["sync", "async"],
+                   help="'async' serves through the asyncio front-end "
+                        "with cross-query batching on (default sync)")
+    p.add_argument("--batch-window", type=float, default=-1.0,
+                   help="admission window in seconds for cross-query "
+                        "batching; negative (default) means off for "
+                        "--server sync and 0.005 for --server async")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(

@@ -324,6 +324,28 @@ def shard_full_query_job(key, payload, algorithm, q, k, keywords=None,
     return [community.to_wire() for community in result]
 
 
+def batch_full_query_job(key, payload, specs):
+    """Run a whole *group* of community searches in one worker job.
+
+    ``specs`` is a tuple of ``(algorithm, q, k, keywords)`` wire
+    specs, all against the same frozen whole-graph snapshot: one
+    payload ship, one worker-cache entry, every lazily built derived
+    structure (core numbers, CL-tree, truss map) shared across the
+    group -- the engine-side half of cross-query batching
+    (:mod:`repro.engine.batching`).  Each spec still runs the exact
+    :func:`shard_full_query_job` pipeline, so per-query results are
+    byte-identical to serial execution.  Returns one wire-form
+    community list per spec, in spec order.
+    """
+    answers = []
+    for algorithm, q, k, keywords in specs:
+        keywords = set(keywords) if keywords is not None else None
+        with tracing.span("batch_member", algorithm=algorithm, k=k):
+            answers.append(shard_full_query_job(
+                key, payload, algorithm, q, k, keywords=keywords))
+    return answers
+
+
 def component_detect_job(key, payload, algorithm, component, params):
     """Run one CD detection (or one component's slice of it) in a
     worker process.

@@ -636,6 +636,30 @@ class QueryEngine:
         graph = self.indexes.graph(name)
         return [Community.from_wire(graph, wire) for wire in wires[0]]
 
+    def search_full_query_batch(self, name, specs):
+        """Run a group of whole community searches against **one**
+        cached frozen payload round-trip of graph ``name``.
+
+        ``specs`` is a sequence of ``(algorithm, q, k, keywords)``
+        tuples; the group ships as a single
+        :func:`~repro.engine.backends.batch_full_query_job`, so the
+        payload is transferred (and every worker-side derived
+        structure built) once for the whole group instead of once per
+        query.  Returns one community list per spec, in spec order --
+        each byte-identical to what :meth:`search_full_query` would
+        return for that spec (the batching layer's tested invariant).
+        """
+        from repro.engine.backends import batch_full_query_job
+
+        payload, arg = self._full_payload_job_arg(name)
+        wires = self.map_shard_jobs(
+            [(batch_full_query_job, (payload.key, arg, tuple(specs)))],
+            op="full_query_batch")
+        self.stats.count("worker_full_query", len(specs))
+        graph = self.indexes.graph(name)
+        return [[Community.from_wire(graph, wire) for wire in wire_list]
+                for wire_list in wires[0]]
+
     def detect(self, name, algorithm, params=None, per_component=False):
         """Run one whole-graph CD detection on the frozen payload.
 

@@ -517,7 +517,10 @@ class IndexManager:
                 target=run, name="cltree-build-{}".format(name),
                 daemon=True)
             entry.builder = thread
-        thread.start()
+            # Start before publishing (i.e. before releasing the
+            # lock): a concurrent caller must never receive a thread
+            # it cannot join yet.
+            thread.start()
         return thread
 
     def wait(self, name, timeout=None):

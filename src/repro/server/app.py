@@ -1,451 +1,223 @@
-"""The server side: JSON-over-HTTP endpoints around a CExplorer.
+"""The synchronous server: the ``/v1`` API over ``ThreadingHTTPServer``.
 
-Endpoints (all JSON; POST bodies are JSON documents):
+The HTTP surface is defined once, declaratively, in
+:mod:`repro.server.routes` and shared with the asyncio front-end
+(:mod:`repro.server.async_app`); this module only binds it to the
+stdlib threading transport.  Per route (all JSON; POST bodies are
+JSON documents):
 
-========================  ====================================================
-``GET  /``                the HTML client page
-``GET  /api/algorithms``  registered CS/CD algorithm names
-``GET  /api/graphs``      uploaded graph names + sizes
-``POST /api/upload``      ``{"path", "name", "shards", "partitioner"}``
-                          -> load a graph file (``shards > 1``
-                          registers it partitioned for fan-out)
-``POST /api/options``     ``{"vertex": ...}`` -> degree choices + keywords
-``POST /api/search``      ``{"vertex", "k", "algorithm", "keywords"}``
-``POST /api/detect``      ``{"algorithm", "params"}``
-``POST /api/display``     search params + ``"community"`` index -> SVG+layout
-``POST /api/profile``     ``{"vertex": ...}`` -> Figure 2 profile card
-``POST /api/compare``     ``{"vertex", "k", "methods"}`` -> Figure 6 report
-``POST /api/suggest``     ``{"prefix", "limit"}`` -> name autocompletion
-``GET  /api/stats``       whole-graph statistics (the dataset panel)
-``POST /api/history``     ``{"session": id}`` -> that session's query trail
-``GET  /api/metrics``     operational metrics (requests, cache, uptime)
-``GET  /metrics``         the same metrics as Prometheus text exposition
-``GET  /api/traces``      recent query traces (``?limit=N``) + slow log
-``GET  /api/traces/<id>`` one full trace: the span tree of that query
-========================  ====================================================
+==============================  =======================================
+``GET  /``                      the HTML client page
+``GET  /metrics``               Prometheus text exposition (unversioned)
+``GET  /v1/algorithms``         registered CS/CD algorithm names
+``GET  /v1/graphs``             uploaded graph names + sizes
+``GET  /v1/graphs/{name}``      one graph + its index state (404
+                                ``graph_not_found`` otherwise)
+``POST /v1/upload``             ``{"path", "name", "shards",
+                                "partitioner"}`` -> load a graph file
+``POST /v1/options``            ``{"vertex"}`` -> degree choices + keywords
+``POST /v1/search``             ``{"vertex", "k", "algorithm", "keywords"}``
+``POST /v1/detect``             ``{"algorithm", "params"}``
+``POST /v1/display``            search params + ``"community"`` index
+``POST /v1/profile``            ``{"vertex"}`` -> Figure 2 profile card
+``POST /v1/compare``            ``{"vertex", "k", "methods"}`` -> Figure 6
+``POST /v1/suggest``            ``{"prefix", "limit"}`` -> autocompletion
+``GET  /v1/stats``              whole-graph statistics
+``POST /v1/history``            ``{"session": id}`` -> the query trail
+``GET  /v1/metrics``            operational metrics (JSON)
+``GET  /v1/traces``             recent query traces (``?limit=N``)
+``GET  /v1/traces/{query_id}``  one full trace: that query's span tree
+==============================  =======================================
 
-``/api/metrics`` is the JSON metrics document (machine-readable but
-repro-shaped); ``/metrics`` renders the same numbers -- request
-counters, engine event counters, the per-operation log-scale latency
-histograms, cache and trace counters -- in the Prometheus text
-exposition format (version 0.0.4) so a standard scraper can ingest
-them without an adapter.  Every query handled by ``/api/search`` (and
-``/api/display``) is traced end to end; the response carries the
-trace id under ``"trace"`` and ``GET /api/traces/<id>`` returns the
-span waterfall (planning, queue wait, cache probes, payload
-freeze/pickle, per-shard worker execution with worker-side sub-spans,
-merge, cache store).
+Every ``/v1`` response wears the uniform envelope ``{"ok", "data",
+"error"}`` (plus ``"trace"`` when the request was traced); errors
+carry stable machine-readable codes (``engine_saturated``,
+``deadline_exceeded``, ``graph_not_found``, ...) -- see
+``docs/API.md`` for the full contract, which
+``scripts/check_api_schema.py`` validates against a live server in CI.
 
-``/api/metrics`` embeds the full engine snapshot: the active execution
-``backend`` (``thread`` or ``process``), per-shard fan-out latency and
-skew, and -- under the process backend -- ``snapshot_build`` (frozen
-CSR payload construction), ``shard_ipc`` and ``index_build_ipc``
-latency ops, so payload shipping overhead is observable next to the
-compute it buys.  Cache evictions are broken down by reason
-(``core-cascade`` / ``truss-cascade`` / ``evict-all``), and
-``truss_invalidations`` / ``truss_cascade_size`` summarise the truss
-maintenance subsystem.
+**Legacy shim:** every pre-``/v1`` ``/api/*`` path keeps working --
+same handlers, the historical bare-document body shape, plus a
+``Deprecation: true`` header and a ``Link`` to the ``/v1`` successor.
+New clients should use ``/v1``.
 
-``/api/search`` accepts an optional ``"session"`` id; queries are
-recorded into that exploration session and the response echoes the id
-(a fresh one is minted when absent), so the browser can show a history
-panel.
-
-Errors are reported as ``{"error": message}`` with status 400, the way
-the original UI surfaces bad queries.  The server is threaded, but
-algorithm work no longer runs on handler threads: searches, detections
-and comparisons are submitted to the explorer's
-:class:`~repro.engine.executor.QueryEngine` -- a bounded worker pool
-with an admission-controlled queue.  When the queue is full the
-request is rejected immediately with **429**; a query that exceeds the
-server's deadline returns **504**.  Cache hits short-circuit the queue
-entirely.
+The server is threaded, but algorithm work does not run on handler
+threads: searches, detections and comparisons are submitted to the
+explorer's :class:`~repro.engine.executor.QueryEngine` -- a bounded
+worker pool with an admission-controlled queue.  A full queue rejects
+immediately with **429** ``engine_saturated``; a query exceeding the
+server deadline returns **504** ``deadline_exceeded``.  Cache hits
+short-circuit the queue entirely.  ``make_server(...,
+batch_window=...)`` additionally coalesces concurrent searches
+through the cross-query :class:`~repro.engine.batching.QueryBatcher`
+(the asyncio front-end enables this by default).
 """
 
 import json
-import threading
-import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import parse_qs
 
-from repro.engine.tracing import render_prometheus
 from repro.explorer.cexplorer import CExplorer
-from repro.explorer.sessions import SessionStore
-from repro.server.html import INDEX_HTML
-from repro.util.errors import (
-    CExplorerError,
-    EngineBusyError,
-    QueryTimeoutError,
+from repro.server.routes import (
+    Pending,
+    Raw,
+    Request,
+    Response,
+    UNKNOWN_ROUTE,
+    match_route,
+    not_found_error,
+    parse_json_body,
+    parse_query_string,
+    render_error,
+    render_success,
+    wait_sync,
 )
-from repro.viz.render import render_svg
+from repro.server.state import ServerState
 
 
 class CExplorerServer(ThreadingHTTPServer):
-    """ThreadingHTTPServer that owns a CExplorer and its engine."""
+    """ThreadingHTTPServer bound to a shared :class:`ServerState`.
+
+    The state attributes (``explorer``, ``engine``, ``sessions``,
+    ``request_counts``, ...) stay addressable on the server object --
+    the embedding API this class has always had.
+    """
 
     daemon_threads = True
 
-    def __init__(self, address, explorer, query_timeout=30.0):
-        self.explorer = explorer
-        self.engine = explorer.engine
-        self.query_timeout = query_timeout
-        self.sessions = SessionStore()
-        self.started_at = time.time()
-        self.request_counts = {}
-        self.error_count = 0
-        self.metrics_lock = threading.Lock()
-        # The upload endpoint mutates the explorer; serialise writers.
-        self.write_lock = threading.Lock()
+    def __init__(self, address, explorer, query_timeout=30.0,
+                 batch_window=None):
+        self.state = ServerState(explorer, query_timeout=query_timeout,
+                                 batch_window=batch_window)
         super().__init__(address, _Handler)
 
-    def count_request(self, path, is_error=False):
-        with self.metrics_lock:
-            self.request_counts[path] = self.request_counts.get(path,
-                                                                0) + 1
-            if is_error:
-                self.error_count += 1
+    # -- the historical embedding surface, delegated to the state ------
+    @property
+    def explorer(self):
+        return self.state.explorer
+
+    @property
+    def engine(self):
+        return self.state.engine
+
+    @property
+    def query_timeout(self):
+        return self.state.query_timeout
+
+    @property
+    def sessions(self):
+        return self.state.sessions
+
+    @property
+    def started_at(self):
+        return self.state.started_at
+
+    @property
+    def request_counts(self):
+        return self.state.request_counts
+
+    @property
+    def error_count(self):
+        return self.state.error_count
+
+    @property
+    def write_lock(self):
+        return self.state.write_lock
+
+    def metrics(self):
+        """The ``/v1/metrics`` document (see
+        :meth:`ServerState.metrics`)."""
+        return self.state.metrics()
 
     def submit(self, fn, *args, **kwargs):
         """Run ``fn`` on the engine's worker pool, blocking the
-        handler thread (cheap: it only waits) until the result or the
+        calling thread (cheap: it only waits) until the result or the
         server deadline."""
-        kwargs.setdefault("timeout", self.query_timeout)
-        return self.engine.execute(fn, *args, **kwargs)
+        kwargs.setdefault("timeout", self.state.query_timeout)
+        return self.state.engine.execute(fn, *args, **kwargs)
 
-    def metrics(self):
-        """The ``/api/metrics`` document.
-
-        ``cache.invalidations_by_reason`` breaks evictions down into
-        ``core-cascade`` / ``truss-cascade`` (footprint-scoped,
-        reported by the attached maintainers) vs ``evict-all`` (the
-        conservative fallback) -- with both maintainers attached, the
-        evict-all counter stays at zero for maintenance updates.
-        ``truss_invalidations`` and ``truss_cascade_size`` summarise
-        the truss maintenance subsystem.
-        """
-        with self.metrics_lock:
-            cache = self.explorer.cache.stats()
-            cache["by_graph"] = self.explorer.cache.entries_by_graph()
-            truss = self.explorer.indexes.truss_stats()
-            return {
-                "uptime_seconds": round(time.time() - self.started_at, 3),
-                "requests": dict(self.request_counts),
-                "errors": self.error_count,
-                "sessions": len(self.sessions),
-                "cache": cache,
-                "truss_invalidations":
-                    cache["invalidations_by_reason"]["truss-cascade"],
-                "truss_cascade_size": {
-                    "last": truss["last_cascade_size"],
-                    "max": truss["max_cascade_size"],
-                    "total": truss["changed_edges"],
-                    "updates": truss["updates"],
-                },
-                # Includes per-shard index versions, partition
-                # balance/cut, and fan-out latency/skew for sharded
-                # graphs (see EngineStats.observe_fanout).
-                "engine": self.engine.snapshot(),
-            }
+    def server_close(self):
+        self.state.close()
+        super().server_close()
 
 
 def make_server(explorer=None, host="127.0.0.1", port=8080,
-                query_timeout=30.0):
+                query_timeout=30.0, batch_window=None):
     """Create (not start) a :class:`CExplorerServer`.
 
     ``port=0`` picks a free port; read it back from
     ``server.server_address``.  Worker-pool sizing belongs to the
     explorer (``CExplorer(workers=..., max_queue=...)``).
+    ``batch_window`` (seconds) enables cross-query batching for
+    ``/v1/search`` / ``/v1/display``: concurrent queries arriving
+    within the window are deduplicated and QIG-grouped before hitting
+    the engine (``None`` = off, the historical behaviour).
     """
     if explorer is None:
         explorer = CExplorer()
     return CExplorerServer((host, port), explorer,
-                           query_timeout=query_timeout)
+                           query_timeout=query_timeout,
+                           batch_window=batch_window)
 
 
 class _Handler(BaseHTTPRequestHandler):
-    """Routes requests to CExplorer calls; JSON in, JSON out."""
+    """Binds the shared route table to the threading transport."""
 
     # Silence per-request logging; the demo prints its own status line.
     def log_message(self, fmt, *args):
         pass
 
-    # ------------------------------------------------------------------
-    # plumbing
-    # ------------------------------------------------------------------
-    def _send(self, status, payload, content_type="application/json"):
-        body = (payload if isinstance(payload, bytes)
-                else json.dumps(payload).encode("utf-8"))
+    def _send(self, status, body, content_type="application/json",
+              headers=()):
+        body = (body if isinstance(body, bytes)
+                else json.dumps(body).encode("utf-8"))
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        for name, value in headers:
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _query_int(self, key, default):
-        """An integer query-string parameter (``?key=N``), or
-        ``default`` when absent or malformed."""
-        if "?" not in self.path:
-            return default
-        values = parse_qs(self.path.split("?", 1)[1]).get(key)
-        if not values:
-            return default
-        try:
-            return int(values[0])
-        except ValueError:
-            return default
-
-    def _json_body(self):
-        length = int(self.headers.get("Content-Length") or 0)
-        if length == 0:
-            return {}
-        raw = self.rfile.read(length)
-        try:
-            doc = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
-            raise CExplorerError("request body is not valid JSON")
-        if not isinstance(doc, dict):
-            raise CExplorerError("request body must be a JSON object")
-        return doc
-
     def _dispatch(self, method):
-        explorer = self.server.explorer
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
-        self.server.count_request(path)
+        state = self.server.state
+        path, query = parse_query_string(self.path)
+        matched = match_route(method, path)
+        if matched is None:
+            state.count_request(UNKNOWN_ROUTE)
+            state.count_error()
+            legacy = not path.startswith("/v1")
+            status, body = render_error(not_found_error(path), legacy)
+            self._send(status, body)
+            return
+        route, params = matched
+        state.count_request(route.template)
         try:
-            if method == "GET" and path == "/api/metrics":
-                self._send(200, self.server.metrics())
-                return
-            if method == "GET" and path == "/metrics":
-                text = render_prometheus(self.server.metrics())
-                self._send(200, text.encode("utf-8"),
-                           content_type="text/plain; version=0.0.4; "
-                                        "charset=utf-8")
-                return
-            if method == "GET" and path == "/api/traces":
-                tracer = self.server.engine.tracer
-                limit = self._query_int("limit", 50)
-                self._send(200, {
-                    "traces": [t.summary()
-                               for t in tracer.traces(limit=limit)],
-                    "slow": [t.summary()
-                             for t in tracer.traces(limit=limit,
-                                                    slow=True)],
-                    "stats": tracer.stats(),
-                })
-                return
-            if method == "GET" and path.startswith("/api/traces/"):
-                query_id = path.rsplit("/", 1)[1]
-                trace = self.server.engine.tracer.get(query_id)
-                if trace is None:
-                    self._send(404, {"error": "no trace {!r} in the "
-                                     "ring buffer".format(query_id)})
-                else:
-                    self._send(200, trace.to_dict())
-                return
-            if method == "GET" and path == "/":
-                self._send(200, INDEX_HTML.encode("utf-8"),
-                           content_type="text/html; charset=utf-8")
-                return
-            if method == "GET" and path == "/api/algorithms":
-                self._send(200, explorer.available_algorithms())
-                return
-            if method == "GET" and path == "/api/stats":
-                self._send(200, explorer.summary())
-                return
-            if method == "GET" and path == "/api/graphs":
-                self._send(200, {
-                    "graphs": [
-                        {"name": name,
-                         "vertices": explorer._graphs[name]
-                         .graph.vertex_count,
-                         "edges": explorer._graphs[name].graph.edge_count,
-                         "shards": explorer.shards(name)}
-                        for name in explorer.graph_names()
-                    ]})
-                return
+            body = {}
             if method == "POST":
-                handler = {
-                    "/api/upload": self._api_upload,
-                    "/api/options": self._api_options,
-                    "/api/search": self._api_search,
-                    "/api/detect": self._api_detect,
-                    "/api/display": self._api_display,
-                    "/api/profile": self._api_profile,
-                    "/api/compare": self._api_compare,
-                    "/api/suggest": self._api_suggest,
-                    "/api/history": self._api_history,
-                }.get(path)
-                if handler is not None:
-                    handler(explorer, self._json_body())
-                    return
-            self._send(404, {"error": "no such endpoint: " + path})
-        except EngineBusyError as exc:
-            # Admission control: shed load fast instead of queueing.
-            self.server.count_request(path, is_error=True)
-            self._send(429, {"error": str(exc), "retry": True})
-        except QueryTimeoutError as exc:
-            self.server.count_request(path, is_error=True)
-            self._send(504, {"error": str(exc)})
-        except CExplorerError as exc:
-            self.server.count_request(path, is_error=True)
-            self._send(400, {"error": str(exc)})
+                length = int(self.headers.get("Content-Length") or 0)
+                body = parse_json_body(self.rfile.read(length)
+                                       if length else b"")
+            request = Request(method, path, params=params, query=query,
+                              body=body)
+            outcome = route.handler(state, request)
+            if isinstance(outcome, Pending):
+                outcome = wait_sync(state, outcome)
+            if isinstance(outcome, Raw):
+                self._send(200, outcome.body,
+                           content_type=outcome.content_type,
+                           headers=route.headers())
+                return
+            response = (outcome if isinstance(outcome, Response)
+                        else Response(outcome))
+            self._send(200, render_success(route, response),
+                       headers=route.headers())
         except Exception as exc:  # defensive: never kill the connection
-            self.server.count_request(path, is_error=True)
-            self._send(500, {"error": "internal error: {}".format(exc)})
+            state.count_error()
+            status, doc = render_error(exc, route.legacy)
+            self._send(status, doc, headers=route.headers())
 
     def do_GET(self):
         self._dispatch("GET")
 
     def do_POST(self):
         self._dispatch("POST")
-
-    # ------------------------------------------------------------------
-    # endpoints
-    # ------------------------------------------------------------------
-    def _api_upload(self, explorer, body):
-        path = body.get("path")
-        if not path:
-            raise CExplorerError("upload needs a 'path'")
-        try:
-            shards = int(body.get("shards", 1))
-        except (TypeError, ValueError):
-            raise CExplorerError(
-                "'shards' must be an integer") from None
-        if shards < 1:
-            raise CExplorerError("shards must be >= 1")
-        with self.server.write_lock:
-            name = explorer.upload(
-                path, name=body.get("name"), shards=shards,
-                partitioner=body.get("partitioner", "hash"))
-        graph = explorer.graph
-        self._send(200, {"name": name, "vertices": graph.vertex_count,
-                         "edges": graph.edge_count,
-                         "shards": explorer.shards(name)})
-
-    def _api_options(self, explorer, body):
-        options = explorer.query_options(_need(body, "vertex"))
-        self._send(200, options)
-
-    def _run_search(self, explorer, body):
-        vertex = _need(body, "vertex")
-        k = int(body.get("k", 4))
-        algorithm = body.get("algorithm", "acq")
-        keywords = body.get("keywords")
-        engine = self.server.engine
-        started = time.time()
-        start = time.perf_counter()
-        # Cache hits resolve inline; misses run on the worker pool
-        # with the server deadline (timeouts cancel the queued job).
-        future = engine.search(algorithm, vertex, k=k,
-                               keywords=keywords,
-                               timeout=self.server.query_timeout)
-        try:
-            communities = future.result(self.server.query_timeout)
-        except QueryTimeoutError:
-            future.cancel()
-            engine.stats.count("timeouts")
-            raise
-        query = {"vertex": vertex, "k": k, "algorithm": algorithm,
-                 "keywords": keywords}
-        trace = future.trace
-        if trace is not None:
-            # The request-level span: end-to-end as the handler saw
-            # it, a top-level sibling of the engine's own spans (so
-            # queue + execute + the request envelope are separable).
-            trace.add_span("request", time.perf_counter() - start,
-                           start=started, parent=None,
-                           tags={"path": self.path.split("?", 1)[0]})
-            query["trace"] = trace.query_id
-        return communities, query
-
-    def _api_search(self, explorer, body):
-        communities, query = self._run_search(explorer, body)
-        session_id = body.get("session")
-        if session_id:
-            session = self.server.sessions.get(str(session_id))
-        else:
-            session = self.server.sessions.create()
-        session.record(query["algorithm"], str(query["vertex"]),
-                       query["k"], len(communities),
-                       keywords=query["keywords"])
-        self._send(200, {
-            "session": session.session_id,
-            "query": query,
-            "communities": [c.to_dict() for c in communities],
-        })
-
-    def _api_suggest(self, explorer, body):
-        prefix = str(body.get("prefix", ""))
-        limit = int(body.get("limit", 10))
-        self._send(200, {
-            "prefix": prefix,
-            "names": explorer.suggest_names(prefix, limit=limit),
-        })
-
-    def _api_history(self, explorer, body):
-        session_id = str(_need(body, "session"))
-        session = self.server.sessions.get(session_id,
-                                           create_missing=False)
-        if session is None:
-            raise CExplorerError("unknown session {!r}".format(session_id))
-        self._send(200, {
-            "session": session_id,
-            "history": session.history(limit=body.get("limit")),
-        })
-
-    def _api_detect(self, explorer, body):
-        algorithm = body.get("algorithm", "codicil")
-        params = body.get("params") or {}
-        communities = self.server.submit(explorer.detect, algorithm,
-                                         op="detect", **params)
-        self._send(200, {
-            "algorithm": algorithm,
-            "count": len(communities),
-            "communities": [c.to_dict() for c in communities[:50]],
-        })
-
-    def _api_display(self, explorer, body):
-        communities, query = self._run_search(explorer, body)
-        idx = int(body.get("community", 0))
-        if not 0 <= idx < len(communities):
-            raise CExplorerError("community index {} out of range "
-                                 "(have {})".format(idx, len(communities)))
-        community = communities[idx]
-        layout = explorer.display(community, fmt="positions",
-                                  layout=body.get("layout", "ego"))
-        svg = render_svg(community, layout=layout)
-        from repro.analysis.themes import theme_of
-        self._send(200, {
-            "query": query,
-            "community": community.to_dict(),
-            "theme": theme_of(community),
-            "positions": {str(v): [round(x, 4), round(y, 4)]
-                          for v, (x, y) in layout.items()},
-            "svg": svg,
-        })
-
-    def _api_profile(self, explorer, body):
-        profile = explorer.profile(_need(body, "vertex"))
-        self._send(200, profile.to_dict())
-
-    def _api_compare(self, explorer, body):
-        vertex = _need(body, "vertex")
-        k = int(body.get("k", 4))
-        methods = body.get("methods") or ("global", "local", "codicil",
-                                          "acq")
-        report = self.server.submit(explorer.compare, vertex, k=k,
-                                    methods=tuple(methods),
-                                    keywords=body.get("keywords"),
-                                    op="compare")
-        doc = report.to_dict()
-        if body.get("charts", True):
-            from repro.viz.charts import render_quality_charts
-            doc["charts"] = render_quality_charts(report)
-        self._send(200, doc)
-
-
-def _need(body, key):
-    value = body.get(key)
-    if value is None:
-        raise CExplorerError("missing required field {!r}".format(key))
-    return value

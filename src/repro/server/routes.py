@@ -1,0 +1,663 @@
+"""The versioned HTTP API: one declarative route table, two servers.
+
+PRs 1-6 grew the serving surface one ``/api/*`` endpoint at a time,
+each dispatched from an if-chain in ``app.py`` with its own ad-hoc
+request/response shape.  This module redesigns that surface as a
+**versioned API** both front-ends share:
+
+* a declarative :data:`ROUTES` table -- method + path template
+  (``/v1/traces/{query_id}``) + handler -- consumed by the sync
+  :mod:`~repro.server.app` and the async
+  :mod:`~repro.server.async_app` alike, so the two servers cannot
+  drift;
+* a uniform **response envelope** on every ``/v1`` route::
+
+      {"ok": true,  "data": ...,  "error": null}            # success
+      {"ok": false, "data": null,
+       "error": {"code": "...", "message": "..."}}          # failure
+
+  plus ``"trace": <query id>`` at the top level when the request was
+  traced, and ``"retry": true`` inside ``error`` when the client
+  should back off and retry (``engine_saturated``);
+* stable machine-readable **error codes** (:data:`ERROR_CODES`)
+  instead of mixed 4xx bodies -- ``graph_not_found``,
+  ``engine_saturated``, ``deadline_exceeded``, ... -- each with a
+  fixed HTTP status, documented in ``docs/API.md`` and validated
+  against a live server by ``scripts/check_api_schema.py``;
+* a **legacy shim**: every pre-existing ``/api/*`` path stays
+  registered against the same handler, rendered in the legacy body
+  shape (the bare data document; errors as ``{"error": message}``)
+  with a ``Deprecation: true`` header and a ``Link`` to its ``/v1``
+  successor, so existing clients keep working while new ones migrate.
+
+Handlers are transport-agnostic: they take ``(state, request)`` --
+:class:`~repro.server.state.ServerState` plus a parsed
+:class:`Request` -- and return plain data, a :class:`Response`, a
+:class:`Raw` byte body, or a :class:`Pending` wrapping an
+:class:`~repro.engine.executor.EngineFuture`.  How a ``Pending`` is
+awaited is the *only* per-server decision: the sync server blocks its
+handler thread (:func:`wait_sync`), the async server polls the future
+from the event loop.
+"""
+
+import json
+import time
+from urllib.parse import parse_qs
+
+from repro.engine.tracing import render_prometheus
+from repro.server.html import INDEX_HTML
+from repro.util.errors import (
+    CExplorerError,
+    EngineBusyError,
+    QueryCancelledError,
+    QueryError,
+    QueryTimeoutError,
+    UnknownAlgorithmError,
+    UnknownVertexError,
+)
+from repro.viz.render import render_svg
+
+API_VERSION = "v1"
+
+# The request-counter bucket for paths matching no route: one constant
+# key, so probe traffic (or a client fat-fingering trace ids) cannot
+# grow ``request_counts`` without bound.
+UNKNOWN_ROUTE = "(unknown)"
+
+# code -> (HTTP status, human description).  The contract surface:
+# docs/API.md documents these and scripts/check_api_schema.py checks a
+# live server only ever emits codes from this table with the status
+# registered here.
+ERROR_CODES = {
+    "bad_request": (400, "the request was malformed or referenced "
+                         "unknown state"),
+    "invalid_json": (400, "the request body was not a JSON object"),
+    "missing_field": (400, "a required request field was absent"),
+    "invalid_parameter": (400, "a request field had the wrong type or "
+                               "an out-of-range value"),
+    "invalid_query": (400, "the query referenced an unknown vertex or "
+                           "had invalid parameters"),
+    "unknown_algorithm": (400, "the algorithm name is not registered"),
+    "not_found": (404, "no route matches the requested path"),
+    "graph_not_found": (404, "no graph is registered under that name"),
+    "trace_not_found": (404, "the trace id is not in the ring buffer"),
+    "session_not_found": (404, "the session id is unknown"),
+    "engine_saturated": (429, "admission control rejected the query; "
+                              "back off and retry"),
+    "cancelled": (503, "the query was cancelled before it ran"),
+    "deadline_exceeded": (504, "the query missed the server deadline"),
+    "internal": (500, "unexpected server-side failure"),
+}
+
+
+class ApiError(CExplorerError):
+    """An error with a stable wire code.
+
+    ``legacy_status`` lets the shim keep a historical status when the
+    ``/v1`` contract uses a better one (e.g. ``session_not_found`` is
+    404 under ``/v1`` but the legacy ``/api/history`` always answered
+    400).
+    """
+
+    def __init__(self, code, message, legacy_status=None):
+        super().__init__(message)
+        if code not in ERROR_CODES:
+            raise ValueError("unregistered error code {!r}".format(code))
+        self.code = code
+        self.status = ERROR_CODES[code][0]
+        self.legacy_status = (legacy_status if legacy_status is not None
+                              else self.status)
+
+
+def translate_error(exc):
+    """Map any exception to ``(status, code, message, legacy_status,
+    retry)`` -- the one place wire semantics are assigned."""
+    if isinstance(exc, ApiError):
+        return (exc.status, exc.code, str(exc), exc.legacy_status,
+                False)
+    if isinstance(exc, EngineBusyError):
+        return 429, "engine_saturated", str(exc), 429, True
+    if isinstance(exc, QueryTimeoutError):
+        return 504, "deadline_exceeded", str(exc), 504, False
+    if isinstance(exc, QueryCancelledError):
+        return 503, "cancelled", str(exc), 503, False
+    if isinstance(exc, UnknownAlgorithmError):
+        return 400, "unknown_algorithm", str(exc), 400, False
+    if isinstance(exc, (QueryError, UnknownVertexError)):
+        return 400, "invalid_query", str(exc), 400, False
+    if isinstance(exc, CExplorerError):
+        return 400, "bad_request", str(exc), 400, False
+    return (500, "internal", "internal error: {}".format(exc), 500,
+            False)
+
+
+# ----------------------------------------------------------------------
+# request / response shapes
+# ----------------------------------------------------------------------
+
+class Request:
+    """One parsed HTTP request, transport-independent."""
+
+    __slots__ = ("method", "path", "params", "query", "body")
+
+    def __init__(self, method, path, params=None, query=None, body=None):
+        self.method = method
+        self.path = path
+        self.params = params or {}
+        self.query = query or {}
+        self.body = body if body is not None else {}
+
+    def int_query(self, key, default):
+        """An integer query-string parameter, or ``default`` when
+        absent or malformed (the legacy ``?limit=N`` semantics)."""
+        values = self.query.get(key)
+        if not values:
+            return default
+        try:
+            return int(values[0])
+        except ValueError:
+            return default
+
+
+class Response:
+    """A handler's success payload plus its optional trace id."""
+
+    __slots__ = ("data", "trace")
+
+    def __init__(self, data, trace=None):
+        self.data = data
+        self.trace = trace
+
+
+class Raw:
+    """A non-JSON response body (the HTML page, Prometheus text)."""
+
+    __slots__ = ("body", "content_type")
+
+    def __init__(self, body, content_type):
+        self.body = body
+        self.content_type = content_type
+
+
+class Pending:
+    """A handler outcome still executing on the engine.
+
+    ``future`` is the :class:`~repro.engine.executor.EngineFuture` to
+    await (each server its own way), ``finish(result)`` builds the
+    final data/:class:`Response` once it resolves, ``timeout`` is the
+    wait budget (``None`` -> the server's ``query_timeout``).
+    """
+
+    __slots__ = ("future", "finish", "timeout")
+
+    def __init__(self, future, finish, timeout=None):
+        self.future = future
+        self.finish = finish
+        self.timeout = timeout
+
+
+def wait_sync(state, pending):
+    """Block on a :class:`Pending` with deadline enforcement: the
+    sync server's awaiter.  A timed-out future is cancelled (a queued
+    job is dropped without running) and counted."""
+    timeout = pending.timeout if pending.timeout is not None \
+        else state.query_timeout
+    try:
+        result = pending.future.result(timeout)
+    except QueryTimeoutError:
+        pending.future.cancel()
+        state.engine.stats.count("timeouts")
+        raise
+    return pending.finish(result)
+
+
+# ----------------------------------------------------------------------
+# body / parameter helpers
+# ----------------------------------------------------------------------
+
+def parse_json_body(raw):
+    """Decode a request body into a JSON object (``{}`` when empty)."""
+    if not raw:
+        return {}
+    try:
+        doc = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        raise ApiError("invalid_json",
+                       "request body is not valid JSON") from None
+    if not isinstance(doc, dict):
+        raise ApiError("invalid_json",
+                       "request body must be a JSON object")
+    return doc
+
+
+def parse_query_string(path_and_query):
+    """Split a request target into ``(path, query dict)``; the path is
+    normalised (trailing slash stripped, bare ``/`` preserved)."""
+    if "?" in path_and_query:
+        path, _, raw = path_and_query.partition("?")
+        query = parse_qs(raw)
+    else:
+        path, query = path_and_query, {}
+    return path.rstrip("/") or "/", query
+
+
+def need(body, key):
+    """A required request field (legacy-compatible message)."""
+    value = body.get(key)
+    if value is None:
+        raise ApiError("missing_field",
+                       "missing required field {!r}".format(key))
+    return value
+
+
+def as_int(value, name, default=None):
+    """Coerce one request field to ``int`` with a typed error."""
+    if value is None:
+        return default
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise ApiError("invalid_parameter",
+                       "{!r} must be an integer".format(name)) from None
+
+
+# ----------------------------------------------------------------------
+# handlers
+# ----------------------------------------------------------------------
+
+def _graph_doc(explorer, name):
+    graph = explorer.indexes.graph(name)
+    return {"name": name, "vertices": graph.vertex_count,
+            "edges": graph.edge_count, "shards": explorer.shards(name)}
+
+
+def h_index_page(state, req):
+    return Raw(INDEX_HTML.encode("utf-8"), "text/html; charset=utf-8")
+
+
+def h_prometheus(state, req):
+    text = render_prometheus(state.metrics())
+    return Raw(text.encode("utf-8"),
+               "text/plain; version=0.0.4; charset=utf-8")
+
+
+def h_algorithms(state, req):
+    return state.explorer.available_algorithms()
+
+
+def h_graphs(state, req):
+    explorer = state.explorer
+    return {"graphs": [_graph_doc(explorer, name)
+                       for name in explorer.graph_names()]}
+
+
+def h_graph(state, req):
+    explorer = state.explorer
+    name = req.params["name"]
+    if name not in explorer.graph_names():
+        raise ApiError("graph_not_found",
+                       "no graph named {!r} uploaded".format(name))
+    doc = _graph_doc(explorer, name)
+    doc["index"] = explorer.indexes.stats(name)
+    return doc
+
+
+def h_stats(state, req):
+    return state.explorer.summary()
+
+
+def h_metrics(state, req):
+    return state.metrics()
+
+
+def h_traces(state, req):
+    tracer = state.engine.tracer
+    limit = req.int_query("limit", 50)
+    return {
+        "traces": [t.summary() for t in tracer.traces(limit=limit)],
+        "slow": [t.summary()
+                 for t in tracer.traces(limit=limit, slow=True)],
+        "stats": tracer.stats(),
+    }
+
+
+def h_trace(state, req):
+    query_id = req.params["query_id"]
+    trace = state.engine.tracer.get(query_id)
+    if trace is None:
+        raise ApiError("trace_not_found",
+                       "no trace {!r} in the ring buffer"
+                       .format(query_id))
+    return trace.to_dict()
+
+
+def h_upload(state, req):
+    body = req.body
+    path = body.get("path")
+    if not path:
+        raise ApiError("missing_field", "upload needs a 'path'")
+    shards = as_int(body.get("shards", 1), "shards")
+    if shards < 1:
+        raise ApiError("invalid_parameter", "shards must be >= 1")
+    explorer = state.explorer
+    try:
+        with state.write_lock:
+            name = explorer.upload(
+                path, name=body.get("name"), shards=shards,
+                partitioner=body.get("partitioner", "hash"))
+    except OSError as exc:
+        # A client-supplied path the server cannot read is the
+        # client's error, not an internal one.
+        raise ApiError("bad_request",
+                       "cannot read graph file: {}".format(exc)) \
+            from None
+    return _graph_doc(explorer, name)
+
+
+def h_options(state, req):
+    return state.explorer.query_options(need(req.body, "vertex"))
+
+
+def _search_pending(state, req, finish_data):
+    """Submit the request's search and defer ``finish_data``.
+
+    The shared front half of ``search`` and ``display``: parse, submit
+    through the state's search path (the batcher when one is enabled,
+    the engine's plan/cache path otherwise), and build the query echo
+    document.  ``finish_data(communities, query)`` produces the
+    route-specific payload once the future resolves; the request-level
+    span and trace id are attached here, identically for both.
+    """
+    body = req.body
+    vertex = need(body, "vertex")
+    k = as_int(body.get("k", 4), "k")
+    algorithm = body.get("algorithm", "acq")
+    keywords = body.get("keywords")
+    started = time.time()
+    start = time.perf_counter()
+    future = state.submit_search(algorithm, vertex, k=k,
+                                 keywords=keywords)
+    query = {"vertex": vertex, "k": k, "algorithm": algorithm,
+             "keywords": keywords}
+
+    def finish(communities):
+        trace = future.trace
+        if trace is not None:
+            # End-to-end as the handler saw it: a top-level sibling
+            # of the engine's own spans, so queue + execute + the
+            # request envelope stay separable in the waterfall.
+            trace.add_span("request", time.perf_counter() - start,
+                           start=started, parent=None,
+                           tags={"path": req.path})
+            query["trace"] = trace.query_id
+        return Response(finish_data(communities, query),
+                        trace=query.get("trace"))
+
+    return Pending(future, finish)
+
+
+def h_search(state, req):
+    body = req.body
+
+    def finish_data(communities, query):
+        session_id = body.get("session")
+        if session_id:
+            session = state.sessions.get(str(session_id))
+        else:
+            session = state.sessions.create()
+        session.record(query["algorithm"], str(query["vertex"]),
+                       query["k"], len(communities),
+                       keywords=query["keywords"])
+        return {
+            "session": session.session_id,
+            "query": query,
+            "communities": [c.to_dict() for c in communities],
+        }
+
+    return _search_pending(state, req, finish_data)
+
+
+def h_display(state, req):
+    body = req.body
+
+    def finish_data(communities, query):
+        idx = as_int(body.get("community", 0), "community")
+        if not 0 <= idx < len(communities):
+            raise ApiError("invalid_parameter",
+                           "community index {} out of range (have {})"
+                           .format(idx, len(communities)))
+        community = communities[idx]
+        layout = state.explorer.display(
+            community, fmt="positions",
+            layout=body.get("layout", "ego"))
+        svg = render_svg(community, layout=layout)
+        from repro.analysis.themes import theme_of
+        return {
+            "query": query,
+            "community": community.to_dict(),
+            "theme": theme_of(community),
+            "positions": {str(v): [round(x, 4), round(y, 4)]
+                          for v, (x, y) in layout.items()},
+            "svg": svg,
+        }
+
+    return _search_pending(state, req, finish_data)
+
+
+def h_detect(state, req):
+    body = req.body
+    algorithm = body.get("algorithm", "codicil")
+    params = body.get("params") or {}
+    future = state.engine.submit(state.explorer.detect, algorithm,
+                                 op="detect",
+                                 timeout=state.query_timeout, **params)
+
+    def finish(communities):
+        return {
+            "algorithm": algorithm,
+            "count": len(communities),
+            "communities": [c.to_dict() for c in communities[:50]],
+        }
+
+    return Pending(future, finish)
+
+
+def h_profile(state, req):
+    return state.explorer.profile(need(req.body, "vertex")).to_dict()
+
+
+def h_compare(state, req):
+    body = req.body
+    vertex = need(body, "vertex")
+    k = as_int(body.get("k", 4), "k")
+    methods = body.get("methods") or ("global", "local", "codicil",
+                                     "acq")
+    future = state.engine.submit(state.explorer.compare, vertex, k=k,
+                                 methods=tuple(methods),
+                                 keywords=body.get("keywords"),
+                                 op="compare",
+                                 timeout=state.query_timeout)
+
+    def finish(report):
+        doc = report.to_dict()
+        if body.get("charts", True):
+            from repro.viz.charts import render_quality_charts
+            doc["charts"] = render_quality_charts(report)
+        return doc
+
+    return Pending(future, finish)
+
+
+def h_suggest(state, req):
+    body = req.body
+    prefix = str(body.get("prefix", ""))
+    limit = as_int(body.get("limit", 10), "limit")
+    return {
+        "prefix": prefix,
+        "names": state.explorer.suggest_names(prefix, limit=limit),
+    }
+
+
+def h_history(state, req):
+    body = req.body
+    session_id = str(need(body, "session"))
+    session = state.sessions.get(session_id, create_missing=False)
+    if session is None:
+        # /v1 reports a proper 404; the legacy /api/history contract
+        # has always answered 400.
+        raise ApiError("session_not_found",
+                       "unknown session {!r}".format(session_id),
+                       legacy_status=400)
+    return {
+        "session": session_id,
+        "history": session.history(limit=body.get("limit")),
+    }
+
+
+# ----------------------------------------------------------------------
+# the route table
+# ----------------------------------------------------------------------
+
+class Route:
+    """One registered route: a method + path template + handler.
+
+    ``template`` segments of the form ``{name}`` capture one path
+    segment into ``request.params``.  The template doubles as the
+    request-counter key, so parameterised paths aggregate under one
+    stable bucket instead of one bucket per id.  ``legacy`` marks an
+    ``/api/*`` shim registration (legacy body shape + ``Deprecation``
+    header); ``successor`` is its ``/v1`` template, advertised in the
+    ``Link`` header.  ``blocking`` marks handlers that may do real
+    work on the calling thread (file I/O, lazy index/summary builds,
+    layout rendering) -- the async server runs those in its executor
+    instead of on the event loop.
+    """
+
+    __slots__ = ("method", "template", "handler", "segments", "legacy",
+                 "successor", "blocking", "raw")
+
+    def __init__(self, method, template, handler, legacy=False,
+                 successor=None, blocking=False, raw=False):
+        self.method = method
+        self.template = template
+        self.handler = handler
+        self.segments = tuple(template.strip("/").split("/")) \
+            if template != "/" else ()
+        self.legacy = legacy
+        self.successor = successor
+        self.blocking = blocking
+        self.raw = raw
+
+    def match(self, method, segments):
+        """``request.params`` when this route matches, else ``None``."""
+        if method != self.method or len(segments) != len(self.segments):
+            return None
+        params = {}
+        for pattern, value in zip(self.segments, segments):
+            if pattern.startswith("{") and pattern.endswith("}"):
+                params[pattern[1:-1]] = value
+            elif pattern != value:
+                return None
+        return params
+
+    def headers(self):
+        """Per-route response headers (the deprecation contract)."""
+        if not self.legacy:
+            return []
+        headers = [("Deprecation", "true")]
+        if self.successor:
+            headers.append(
+                ("Link", '<{}>; rel="successor-version"'
+                 .format(self.successor)))
+        return headers
+
+
+# (method, /v1 template, legacy /api template or None, handler, opts)
+_SPECS = (
+    ("GET", "/v1/algorithms", "/api/algorithms", h_algorithms, {}),
+    ("GET", "/v1/graphs", "/api/graphs", h_graphs, {}),
+    ("GET", "/v1/graphs/{name}", None, h_graph, {}),
+    ("GET", "/v1/stats", "/api/stats", h_stats, {"blocking": True}),
+    ("GET", "/v1/metrics", "/api/metrics", h_metrics, {}),
+    ("GET", "/v1/traces", "/api/traces", h_traces, {}),
+    ("GET", "/v1/traces/{query_id}", "/api/traces/{query_id}",
+     h_trace, {}),
+    ("POST", "/v1/upload", "/api/upload", h_upload,
+     {"blocking": True}),
+    ("POST", "/v1/options", "/api/options", h_options,
+     {"blocking": True}),
+    ("POST", "/v1/search", "/api/search", h_search, {}),
+    ("POST", "/v1/detect", "/api/detect", h_detect, {}),
+    ("POST", "/v1/display", "/api/display", h_display,
+     {"blocking": True}),
+    ("POST", "/v1/profile", "/api/profile", h_profile, {}),
+    ("POST", "/v1/compare", "/api/compare", h_compare,
+     {"blocking": True}),
+    ("POST", "/v1/suggest", "/api/suggest", h_suggest, {}),
+    ("POST", "/v1/history", "/api/history", h_history, {}),
+)
+
+
+def _build_routes():
+    routes = [
+        Route("GET", "/", h_index_page, raw=True),
+        Route("GET", "/metrics", h_prometheus, raw=True),
+    ]
+    for method, v1, legacy, handler, opts in _SPECS:
+        routes.append(Route(method, v1, handler, **opts))
+        if legacy is not None:
+            routes.append(Route(method, legacy, handler, legacy=True,
+                                successor=v1, **opts))
+    return tuple(routes)
+
+
+ROUTES = _build_routes()
+
+
+def v1_routes():
+    """The ``/v1`` contract surface (what docs/API.md documents)."""
+    return [r for r in ROUTES if r.template.startswith("/v1/")]
+
+
+def match_route(method, path):
+    """``(route, params)`` for the first matching route, or ``None``."""
+    segments = tuple(path.strip("/").split("/")) if path != "/" else ()
+    for route in ROUTES:
+        params = route.match(method, segments)
+        if params is not None:
+            return route, params
+    return None
+
+
+# ----------------------------------------------------------------------
+# response rendering
+# ----------------------------------------------------------------------
+
+def render_success(route, response):
+    """The success body for a route: envelope on ``/v1``, the bare
+    data document on the legacy shim."""
+    if route.legacy:
+        return response.data
+    doc = {"ok": True, "data": response.data, "error": None}
+    if response.trace is not None:
+        doc["trace"] = response.trace
+    return doc
+
+
+def render_error(exc, legacy):
+    """``(status, body)`` for any exception, in the requested shape."""
+    status, code, message, legacy_status, retry = translate_error(exc)
+    if legacy:
+        body = {"error": message}
+        if retry:
+            body["retry"] = True
+        return legacy_status, body
+    error = {"code": code, "message": message}
+    if retry:
+        error["retry"] = True
+    return status, {"ok": False, "data": None, "error": error}
+
+
+def not_found_error(path):
+    """The unmatched-path error (legacy-compatible message)."""
+    return ApiError("not_found", "no such endpoint: " + path)
