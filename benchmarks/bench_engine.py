@@ -619,6 +619,100 @@ def test_concurrent_serving(benchmark, dblp, quick):
     }, quick=quick)
 
 
+def test_resilience_under_faults(benchmark, dblp, quick):
+    """The fault-tolerance acceptance shape: under a seeded 5%
+    worker-kill plan on the sharded fan-out, the retry machinery
+    absorbs every injected kill -- the success rate stays at 1.0,
+    every answer is byte-identical to the fault-free run, and the
+    tail (p99) latency pays only the retry backoff, not a query loss.
+
+    Both passes drain the same cold pool through a 4-shard engine;
+    the faulted pass carries ``kill:shard@0.05`` (every 20th shard
+    job dies before executing and is retried alone with backoff).
+    """
+    from repro.engine.faults import FaultPlan
+
+    distinct, repeats = _pool_shape(quick)
+    pool = pick_query_vertices(dblp, K, distinct, seed=53) * repeats
+    plan_spec = "seed=97;kill:shard@0.05"
+
+    def canon(communities):
+        return json.dumps([c.to_dict() for c in communities],
+                          sort_keys=True)
+
+    def p99(latencies):
+        ordered = sorted(latencies)
+        return ordered[min(len(ordered) - 1,
+                           int(0.99 * len(ordered)))]
+
+    def run_variant(spec):
+        faults = FaultPlan.from_spec(spec) if spec else None
+        explorer = CExplorer(workers=4, max_queue=len(pool) + 8,
+                             faults=faults)
+        explorer.add_graph("dblp", dblp, shards=4,
+                           partitioner="greedy")
+        answers, latencies, failures = [], [], 0
+        try:
+            # Warm the structural caches so both variants time the
+            # query path, not first-query index builds.
+            explorer.search("acq", pool[0], k=K, use_cache=False)
+            for q in pool:
+                start = time.perf_counter()
+                try:
+                    result = explorer.search("acq", q, k=K,
+                                             use_cache=False)
+                except CExplorerError:
+                    failures += 1
+                    result = None
+                latencies.append(time.perf_counter() - start)
+                answers.append(None if result is None
+                               else canon(result))
+            counters = dict(explorer.engine.snapshot()
+                            ["resilience"]["counters"])
+        finally:
+            explorer.engine.shutdown()
+        return answers, latencies, failures, counters
+
+    def run():
+        clean, clean_lat, _, _ = run_variant(None)
+        faulted, faulted_lat, failures, counters = \
+            run_variant(plan_spec)
+        identical = sum(1 for a, b in zip(clean, faulted) if a == b)
+        n = len(pool)
+        return {
+            "queries": n,
+            "fault_plan": plan_spec,
+            "success_rate": round((n - failures) / n, 4),
+            "identical_rate": round(identical / n, 4),
+            "p99_seconds": {"clean": round(p99(clean_lat), 6),
+                            "faulted": round(p99(faulted_lat), 6)},
+            "counters": {key: counters[key] for key in
+                         ("retries", "retry_exhausted",
+                          "faults_injected")},
+        }
+
+    doc = benchmark.pedantic(run, rounds=1, iterations=1)
+    # The acceptance floor: at a 5% kill rate every query survives
+    # (a loss needs three consecutive kills of the same shard job,
+    # p ~ 1e-4) and survivors are byte-identical to the clean run.
+    assert doc["success_rate"] == 1.0, doc
+    assert doc["identical_rate"] == 1.0, doc
+    # The plan really fired and the retries really absorbed it.
+    assert doc["counters"]["faults_injected"] >= 1, doc
+    assert doc["counters"]["retries"] >= 1, doc
+    assert doc["counters"]["retry_exhausted"] == 0, doc
+    write_artifact("resilience.json", json.dumps(doc, indent=2))
+    update_bench_trajectory("resilience", {
+        "queries": doc["queries"],
+        "k": K,
+        "fault_plan": plan_spec,
+        "success_rate": doc["success_rate"],
+        "identical_rate": doc["identical_rate"],
+        "p99_seconds": doc["p99_seconds"],
+        "counters": doc["counters"],
+    }, quick=quick)
+
+
 def test_tracing_overhead(benchmark, dblp, quick):
     """Query tracing must be free on the warm-cache fast path.
 

@@ -148,7 +148,8 @@ def check_server(base, kind):
 
     # -- success envelopes on every GET /v1 route ----------------------
     for path in ("/v1/algorithms", "/v1/graphs", "/v1/graphs/smoke",
-                 "/v1/stats", "/v1/metrics", "/v1/traces"):
+                 "/v1/stats", "/v1/metrics", "/v1/traces",
+                 "/v1/health", "/v1/ready"):
         status, _, doc = get(base, path)
         problems.extend(check_envelope(path, status, doc))
         if status != 200:
@@ -255,9 +256,10 @@ def check_docs(exercised):
         # Not reachable from a healthy smoke server: saturation and
         # deadline need a wedged engine (tests/test_api_v1.py covers
         # both), cancellation needs a racing shutdown, 'internal'
-        # needs a server bug.
+        # needs a server bug, 'not_ready' needs a full admission
+        # queue or a shut-down engine (tests/test_resilience.py).
         "engine_saturated", "deadline_exceeded", "cancelled",
-        "internal", "not_found",
+        "internal", "not_found", "not_ready",
     }
     # 'not_found' IS exercised; keep the allowlist honest.
     if "not_found" in exercised:

@@ -16,7 +16,11 @@ compute, which hold their meaning across pool sizes and runners:
   invalidation's warm hit rate (higher is better);
 * ``serving.speedup`` -- async+batched serving throughput vs the
   thread-per-request baseline on the concurrent overlapping workload
-  (higher is better).
+  (higher is better);
+* ``resilience.success_rate`` / ``resilience.identical_rate`` --
+  queries answered, and answered byte-identically to the fault-free
+  run, under the seeded 5% worker-kill plan (higher is better;
+  both should be 1.0).
 
 Usage: ``python scripts/check_bench_regression.py [--threshold 0.2]``
 (run after the bench has written the current commit's entry).  Exits
@@ -48,6 +52,10 @@ METRICS = (
      "selective truss warm hit rate"),
     (("serving", "speedup"),
      "async+batched serving speedup vs thread-per-request"),
+    (("resilience", "success_rate"),
+     "query success rate under 5% worker-kill plan"),
+    (("resilience", "identical_rate"),
+     "byte-identical answers under 5% worker-kill plan"),
 )
 
 

@@ -40,12 +40,22 @@ LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 # The JSON metrics keys the dashboard and renderer contractually read.
 ENGINE_KEYS = ("queue_depth", "in_flight", "workers", "counters",
-               "latency", "traces")
+               "latency", "traces", "resilience")
 TRACE_KEYS = ("enabled", "capacity", "buffered", "recorded",
               "slow_queries", "slow_threshold_seconds")
 HISTOGRAM_KEYS = ("count", "mean_ms", "p50_ms", "p95_ms", "max_ms",
                   "total_seconds", "buckets")
 CACHE_KEYS = ("hits", "misses", "evictions", "invalidations", "entries")
+# The resilience block the Prometheus renderer and the chaos CI job
+# read (see repro.engine.retry.ResiliencePlane.snapshot).
+RESILIENCE_KEYS = ("counters", "breakers", "quarantined", "degraded")
+RESILIENCE_COUNTERS = ("retries", "retry_exhausted", "hedges",
+                       "hedges_won", "hedges_lost", "quarantines",
+                       "breaker_rejections", "payload_retries",
+                       "batch_member_retries", "faults_injected")
+BREAKER_KEYS = ("state", "consecutive_failures", "opens", "probes",
+                "promotions", "degraded_seconds")
+BREAKER_STATES = ("closed", "open", "half_open")
 
 
 def boot_server():
@@ -89,6 +99,33 @@ def check_json_metrics(doc):
     for key in CACHE_KEYS:
         if key not in doc.get("cache", {}):
             yield "cache doc missing key {!r}".format(key)
+    resilience = engine.get("resilience", {})
+    for key in RESILIENCE_KEYS:
+        if key not in resilience:
+            yield "engine.resilience missing key {!r}".format(key)
+    counters = resilience.get("counters", {})
+    for key in RESILIENCE_COUNTERS:
+        if key not in counters:
+            yield ("resilience counters missing key "
+                   "{!r}".format(key))
+        elif not isinstance(counters.get(key), int) \
+                or counters.get(key) < 0:
+            yield ("resilience counter {!r} is {!r}, not a "
+                   "non-negative int".format(key, counters.get(key)))
+    breakers = resilience.get("breakers", {})
+    for backend in ("process", "thread"):
+        breaker = breakers.get(backend)
+        if breaker is None:
+            yield "no {!r} circuit breaker in resilience doc".format(
+                backend)
+            continue
+        for key in BREAKER_KEYS:
+            if key not in breaker:
+                yield "breaker {!r} missing key {!r}".format(
+                    backend, key)
+        if breaker.get("state") not in BREAKER_STATES:
+            yield "breaker {!r} has unknown state {!r}".format(
+                backend, breaker.get("state"))
     latency = engine.get("latency", {})
     if "search" not in latency:
         yield "no 'search' latency histogram after a search request"
@@ -211,6 +248,13 @@ def main(argv):
         problems.append(
             "/metrics Content-Type is {!r}".format(content_type))
     problems.extend(check_exposition(text))
+    for family in ("repro_resilience_events_total",
+                   "repro_breaker_state",
+                   "repro_quarantined_payloads"):
+        if "\n# TYPE {} ".format(family) not in text:
+            problems.append(
+                "exposition missing resilience family "
+                "{!r}".format(family))
     for problem in problems:
         print("SCHEMA: {}".format(problem))
     if problems:

@@ -42,7 +42,8 @@ from repro.util.errors import CExplorerError
 
 def _load_explorer(args):
     explorer = CExplorer(workers=getattr(args, "workers", 2),
-                         backend=getattr(args, "backend", "thread"))
+                         backend=getattr(args, "backend", "thread"),
+                         faults=_fault_plan(args))
     explorer.upload(args.graph, name="cli",
                     shards=getattr(args, "shards", 1),
                     partitioner=getattr(args, "partitioner", "hash"))
@@ -50,6 +51,22 @@ def _load_explorer(args):
         tree = load_cltree(args.index, explorer.graph)
         explorer.indexes.install("cli", tree, core=tree.core)
     return explorer
+
+
+def _fault_plan(args):
+    """The seeded fault-injection plan named by ``--fault-plan`` (a
+    spec string or a JSON file path), or ``None`` (which lets the
+    engine honour ``REPRO_FAULT_PLAN`` from the environment)."""
+    spec = getattr(args, "fault_plan", None)
+    if not spec:
+        return None
+    import os
+
+    from repro.engine.faults import FaultPlan
+    if os.path.isfile(spec):
+        with open(spec, encoding="utf-8") as handle:
+            spec = handle.read()
+    return FaultPlan.from_spec(spec)
 
 
 def _cmd_generate(args):
@@ -279,6 +296,12 @@ def build_parser():
                             "subqueries and CL-tree builds in a "
                             "multiprocessing pool over frozen CSR "
                             "snapshots (default thread)")
+        p.add_argument("--fault-plan",
+                       help="seeded fault-injection plan for chaos "
+                            "testing: a spec string like "
+                            "'seed=7;kill:shard@0.05' or a path to a "
+                            "JSON plan file (default: the "
+                            "REPRO_FAULT_PLAN environment variable)")
         if with_vertex:
             p.add_argument("--vertex", required=True)
             p.add_argument("-k", type=int, default=4,

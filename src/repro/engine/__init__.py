@@ -154,8 +154,14 @@ from repro.engine.backends import (
 )
 from repro.engine.cache import ResultCache, SubproblemMemo, query_key
 from repro.engine.executor import EngineFuture, QueryEngine
+from repro.engine.faults import FaultPlan, FaultRule
 from repro.engine.index_manager import IndexManager, IndexSnapshot
 from repro.engine.plans import QueryPlan, plan_search
+from repro.engine.retry import (
+    CircuitBreaker,
+    ResiliencePlane,
+    RetryPolicy,
+)
 from repro.engine.sharding import (
     GraphPartitioner,
     Partition,
@@ -168,8 +174,11 @@ from repro.engine.tracing import QueryTrace, TraceRecorder
 
 __all__ = [
     "BACKENDS",
+    "CircuitBreaker",
     "EngineFuture",
     "EngineStats",
+    "FaultPlan",
+    "FaultRule",
     "GraphPartitioner",
     "IndexManager",
     "IndexSnapshot",
@@ -180,7 +189,9 @@ __all__ = [
     "QueryEngine",
     "QueryPlan",
     "QueryTrace",
+    "ResiliencePlane",
     "ResultCache",
+    "RetryPolicy",
     "ShardMergeError",
     "ShardPayload",
     "ShardedIndexManager",

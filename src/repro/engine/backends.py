@@ -43,6 +43,7 @@ query.
 """
 
 import pickle
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeout
@@ -51,8 +52,14 @@ from concurrent.futures.process import BrokenProcessPool
 from repro.core.cltree import build_cltree
 from repro.core.kcore import connected_k_core, core_decomposition
 from repro.core.ktruss import truss_decomposition
+from repro.engine import faults as fault_injection
 from repro.engine import tracing
-from repro.util.errors import EngineError, QueryTimeoutError
+from repro.util.errors import (
+    EngineError,
+    JobPayloadError,
+    PayloadCorruptionError,
+    QueryTimeoutError,
+)
 
 BACKENDS = ("thread", "process")
 
@@ -78,10 +85,42 @@ def validate_backend(backend):
 
 
 # ----------------------------------------------------------------------
+# cooperative deadlines (the worker side of deadline propagation)
+# ----------------------------------------------------------------------
+
+# Per-execution-context job environment.  In a worker process jobs run
+# one at a time so this is effectively process-global; in the parent
+# (thread backend / inline fallback) it is per-thread, which is
+# exactly the job granularity there.  Wall-clock based: the deadline
+# crosses a process boundary, where perf_counter epochs differ.
+_job_env = threading.local()
+
+
+def set_job_deadline(wall_deadline):
+    """Install the caller's remaining deadline (``time.time()``-based,
+    or ``None``) for jobs running in this context."""
+    _job_env.deadline = wall_deadline
+
+
+def check_deadline():
+    """Cooperative deadline check inside job functions.
+
+    Raises :class:`~repro.util.errors.QueryTimeoutError` once the
+    caller's deadline has passed -- so an orphaned job (its parent
+    already timed out, or it lost a hedge race) self-cancels at the
+    next phase boundary instead of burning a worker to completion.
+    """
+    deadline = getattr(_job_env, "deadline", None)
+    if deadline is not None and time.time() > deadline:
+        raise QueryTimeoutError(
+            "worker job exceeded the caller's deadline")
+
+
+# ----------------------------------------------------------------------
 # job functions (top-level: process jobs must pickle by reference)
 # ----------------------------------------------------------------------
 
-def _timed_job(fn, args):
+def _timed_job(fn, args, fault=None, deadline=None):
     """Run ``fn(*args)`` and return ``(child_seconds, spans,
     result)``.
 
@@ -89,12 +128,37 @@ def _timed_job(fn, args):
     recorded (index thaw, lazy decomposition builds, algorithm run --
     see :func:`~repro.engine.tracing.collect_worker_spans`); the
     parent grafts them under the query's per-shard ``worker_execute``
-    span.
+    span.  ``fault`` carries worker-side fault actions the parent's
+    :class:`~repro.engine.faults.FaultPlan` drew for this job;
+    ``deadline`` is the caller's remaining wall-clock deadline, made
+    visible to the job through :func:`check_deadline`.
     """
     start = time.perf_counter()
-    with tracing.collect_worker_spans() as log:
-        result = fn(*args)
+    set_job_deadline(deadline)
+    try:
+        with tracing.collect_worker_spans() as log:
+            fault_injection.apply_worker_actions(fault)
+            check_deadline()
+            result = fn(*args)
+            if fault_injection.wants_duplicate(fault):
+                # The "duplicate" fault: run the (idempotent) job
+                # again, as a duplicated queue delivery would.
+                result = fn(*args)
+    finally:
+        set_job_deadline(None)
     return time.perf_counter() - start, log.wire(), result
+
+
+def _loads_payload(key, blob):
+    """Unpickle a shipped payload, converting any decode failure into
+    :class:`~repro.util.errors.PayloadCorruptionError` carrying the
+    payload identity -- the signal the engine's quarantine keys on."""
+    try:
+        return pickle.loads(blob)
+    except Exception as exc:
+        raise PayloadCorruptionError(
+            "payload {!r} failed to unpickle: {}".format(key, exc),
+            key=key) from exc
 
 
 def shard_candidates_job(key, blob, k):
@@ -110,10 +174,11 @@ def shard_candidates_job(key, blob, k):
     ids -- the merge step rebuilds its
     :class:`~repro.engine.sharding.ShardReport` from them.
     """
+    check_deadline()
     entry = _WORKER_CACHE.get(key)
     if entry is None:
         with tracing.span("index_thaw"):
-            frozen, old_ids, global_degree = pickle.loads(blob)
+            frozen, old_ids, global_degree = _loads_payload(key, blob)
         with tracing.span("core_build"):
             entry = (old_ids, global_degree,
                      core_decomposition(frozen))
@@ -149,11 +214,12 @@ def shard_truss_job(key, blob, k):
     ``uncertain`` are the shard's remaining edges, which the engine's
     merge peels with exact global supports.
     """
+    check_deadline()
     cache_key = (key, "truss")
     entry = _WORKER_CACHE.get(cache_key)
     if entry is None:
         with tracing.span("index_thaw"):
-            frozen, old_ids, _ = pickle.loads(blob)
+            frozen, old_ids, _ = _loads_payload(key, blob)
         with tracing.span("truss_build"):
             entry = (old_ids, truss_decomposition(frozen),
                      list(frozen.edges()))
@@ -188,7 +254,7 @@ def _full_graph_entry(key, payload):
     if entry is None:
         if isinstance(payload, (bytes, bytearray)):
             with tracing.span("index_thaw", bytes=len(payload)):
-                frozen = pickle.loads(payload)
+                frozen = _loads_payload(key, payload)
         else:
             frozen = payload
         entry = {"frozen": frozen}
@@ -286,6 +352,7 @@ def shard_full_query_job(key, payload, algorithm, q, k, keywords=None,
     from repro.algorithms.truss_search import truss_community_search
     from repro.core.acq import acq_search
 
+    check_deadline()
     entry = _full_graph_entry(key, payload)
     frozen = entry["frozen"]
     q0 = q if isinstance(q, int) else tuple(q)[0]
@@ -324,7 +391,7 @@ def shard_full_query_job(key, payload, algorithm, q, k, keywords=None,
     return [community.to_wire() for community in result]
 
 
-def batch_full_query_job(key, payload, specs):
+def batch_full_query_job(key, payload, specs, member_faults=None):
     """Run a whole *group* of community searches in one worker job.
 
     ``specs`` is a tuple of ``(algorithm, q, k, keywords)`` wire
@@ -334,15 +401,34 @@ def batch_full_query_job(key, payload, specs):
     group -- the engine-side half of cross-query batching
     (:mod:`repro.engine.batching`).  Each spec still runs the exact
     :func:`shard_full_query_job` pipeline, so per-query results are
-    byte-identical to serial execution.  Returns one wire-form
-    community list per spec, in spec order.
+    byte-identical to serial execution.
+
+    Returns one ``("ok", wire-form community list)`` or ``("error",
+    description)`` outcome per spec, in spec order: a member that
+    fails (bad data surviving planning, or an injected fault from
+    ``member_faults``) reports its own error instead of poisoning the
+    clique -- the batching layer retries it solo.  Deadline expiry is
+    the exception: it aborts the whole group, since every remaining
+    member's caller has already given up.
     """
+    check_deadline()
     answers = []
-    for algorithm, q, k, keywords in specs:
+    for i, (algorithm, q, k, keywords) in enumerate(specs):
+        check_deadline()
         keywords = set(keywords) if keywords is not None else None
-        with tracing.span("batch_member", algorithm=algorithm, k=k):
-            answers.append(shard_full_query_job(
-                key, payload, algorithm, q, k, keywords=keywords))
+        try:
+            fault_injection.apply_worker_actions(
+                member_faults[i] if member_faults else None)
+            with tracing.span("batch_member", algorithm=algorithm,
+                              k=k):
+                answers.append(("ok", shard_full_query_job(
+                    key, payload, algorithm, q, k,
+                    keywords=keywords)))
+        except QueryTimeoutError:
+            raise
+        except Exception as exc:
+            answers.append(("error", "{}: {}".format(
+                type(exc).__name__, exc)))
     return answers
 
 
@@ -359,6 +445,7 @@ def component_detect_job(key, payload, algorithm, component, params):
     """
     from repro.algorithms.registry import get_cd_algorithm
 
+    check_deadline()
     entry = _full_graph_entry(key, payload)
     frozen = entry["frozen"]
     old_ids = None
@@ -420,6 +507,58 @@ class ProcessBackend:
                 max_workers=self.workers, mp_context=context)
         return self._pool
 
+    def submit_job(self, fn, args, fault=None, deadline=None):
+        """Submit one job; returns its ``concurrent.futures`` future.
+
+        ``fault`` ships worker-side fault actions drawn by the
+        parent's plan; ``deadline`` is the caller's remaining
+        wall-clock deadline (``time.time()`` based), installed in the
+        worker so the job can self-cancel cooperatively.  Raises
+        :class:`ProcessBackendError` when the *pool* cannot accept
+        work (broken/shut down -- the substrate is at fault) and
+        :class:`~repro.util.errors.JobPayloadError` when this job's
+        arguments will not pickle (the job is at fault; the pool stays
+        up and siblings are unaffected).
+        """
+        pool = self._ensure()
+        try:
+            return pool.submit(_timed_job, fn, args, fault, deadline)
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            raise JobPayloadError(
+                "job payload did not pickle: {}".format(exc)) from exc
+        except (BrokenProcessPool, RuntimeError) as exc:
+            self._break()
+            raise ProcessBackendError(
+                "process pool submission failed: {}".format(exc)) from exc
+
+    def job_result(self, future, budget=None):
+        """One job's ``(child_seconds, spans, result)``, with the
+        error taxonomy callers dispatch on: :class:`QueryTimeoutError`
+        past ``budget``, :class:`ProcessBackendError` for pool death
+        (breaking the pool so the next use starts fresh),
+        :class:`~repro.util.errors.JobPayloadError` for a payload that
+        failed to pickle in the feeder thread (the pool survives; only
+        this job fails -- unpicklable payloads used to take the whole
+        fan-out down with a pool fallback), and any worker-raised
+        exception as itself."""
+        try:
+            return future.result(budget)
+        except _FutureTimeout:
+            raise QueryTimeoutError(
+                "process job did not finish within "
+                "{:.3f}s".format(budget)) from None
+        except BrokenProcessPool as exc:
+            self._break()
+            raise ProcessBackendError(
+                "process pool died mid job: {}".format(exc)) from exc
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            # An unpicklable payload surfaces on the future, not at
+            # submit (the pool pickles in a feeder thread) -- and as
+            # whatever the pickler raised (a local function is an
+            # AttributeError, an unpicklable value a TypeError).
+            raise JobPayloadError(
+                "job payload did not pickle: {}".format(exc)) from exc
+
     def run_jobs(self, jobs, timeout=None, collect_spans=False):
         """Run ``(fn, args)`` jobs concurrently in worker processes.
 
@@ -430,20 +569,15 @@ class ProcessBackend:
         element is appended: per-job wire-format tracing span lists
         recorded inside the workers (the engine grafts them into the
         query's trace).  Raises :class:`ProcessBackendError` on a
-        broken/unpicklable pool (callers fall back in-process) and
+        broken pool, :class:`~repro.util.errors.JobPayloadError` for
+        an unpicklable job (pool intact), and
         :class:`QueryTimeoutError` when ``timeout`` elapses.
         """
-        pool = self._ensure()
-        submitted = []
-        try:
-            for fn, args in jobs:
-                submitted.append((time.perf_counter(),
-                                  pool.submit(_timed_job, fn, args)))
-        except (BrokenProcessPool, RuntimeError, pickle.PicklingError,
-                TypeError, AttributeError) as exc:
-            self._break()
-            raise ProcessBackendError(
-                "process pool submission failed: {}".format(exc)) from exc
+        wall_deadline = (time.time() + timeout
+                         if timeout is not None else None)
+        submitted = [(time.perf_counter(),
+                      self.submit_job(fn, args, deadline=wall_deadline))
+                     for fn, args in jobs]
         results = []
         child_seconds = []
         ipc_seconds = []
@@ -455,24 +589,13 @@ class ProcessBackend:
             if deadline is not None:
                 budget = max(deadline - time.perf_counter(), 0.0)
             try:
-                child, spans, result = future.result(budget)
-            except _FutureTimeout:
+                child, spans, result = self.job_result(future, budget)
+            except QueryTimeoutError:
                 for _, later in submitted[i:]:
                     later.cancel()
                 raise QueryTimeoutError(
                     "process fan-out did not finish within "
                     "{:.3f}s".format(timeout)) from None
-            except BrokenProcessPool as exc:
-                self._break()
-                raise ProcessBackendError(
-                    "process pool died mid fan-out: {}".format(exc)
-                ) from exc
-            except pickle.PicklingError as exc:
-                # An unpicklable payload surfaces on the future, not
-                # at submit (the pool pickles in a feeder thread).
-                raise ProcessBackendError(
-                    "process job payload did not pickle: {}".format(exc)
-                ) from exc
             roundtrip = time.perf_counter() - started
             results.append(result)
             child_seconds.append(child)

@@ -55,7 +55,11 @@ from repro.engine.plans import (
     TRUSS_FAMILY,
     plan_search,
 )
-from repro.util.errors import CExplorerError, EngineBusyError
+from repro.util.errors import (
+    BatchMemberError,
+    CExplorerError,
+    EngineBusyError,
+)
 
 __all__ = ["QueryBatcher", "QueryIntersectionGraph", "signature_family"]
 
@@ -408,6 +412,13 @@ class QueryBatcher:
                 engine.stats.count("batch_fallbacks")
             else:
                 for request, answer in zip(group, answers):
+                    if isinstance(answer, BatchMemberError):
+                        # One member failed inside the worker: leave
+                        # it out of ``results`` so the serial loop
+                        # below retries it solo -- the rest of the
+                        # group keeps its shared-round-trip answer.
+                        engine.stats.count("batch_member_retries")
+                        continue
                     footprint = {v for c in answer for v in c}
                     self.explorer.cache.put(request.cache_key, answer,
                                             vertices=footprint)

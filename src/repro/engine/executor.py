@@ -49,24 +49,38 @@ Synchronous callers (library users, the batch harness) use
 import queue
 import threading
 import time
+from concurrent.futures import FIRST_COMPLETED
+from concurrent.futures import wait as _futures_wait
 
 from repro.core.community import Community
+from repro.engine import faults as fault_injection
 from repro.engine.backends import (
     ProcessBackend,
     ProcessBackendError,
+    set_job_deadline,
     validate_backend,
 )
 from repro.engine.cache import ResultCache, SubproblemMemo
+from repro.engine.faults import FaultPlan
 from repro.engine.index_manager import IndexManager
+from repro.engine.retry import RETRYABLE, ResiliencePlane
 from repro.engine.stats import EngineStats
 from repro.engine import tracing
 from repro.engine.tracing import TraceRecorder
 from repro.util.errors import (
+    BatchMemberError,
     CExplorerError,
     EngineBusyError,
+    JobPayloadError,
+    PayloadCorruptionError,
     QueryCancelledError,
     QueryTimeoutError,
 )
+
+# The deadline of the engine job the current thread is executing
+# (perf_counter based); fan-outs read it so retries, hedges and
+# shipped worker deadlines never outlive the caller's budget.
+_job_context = threading.local()
 
 _PENDING, _RUNNING, _DONE, _CANCELLED = range(4)
 
@@ -189,7 +203,7 @@ class QueryEngine:
                  default_timeout=None, cache_size=512,
                  index_manager=None, memo_size=128, backend="thread",
                  trace_capacity=256, slow_query_seconds=1.0,
-                 tracing_enabled=True):
+                 tracing_enabled=True, faults=None):
         if workers < 1:
             raise ValueError("workers must be positive")
         if max_queue < 1:
@@ -204,6 +218,16 @@ class QueryEngine:
         self.cache = ResultCache(cache_size)
         self.memo = SubproblemMemo(memo_size)
         self.stats = EngineStats()
+        # Fault injection (None in production unless REPRO_FAULT_PLAN
+        # is set -- the CI chaos job's hook) and the resilience plane:
+        # retry policies, substrate breakers, payload quarantine.
+        self.faults = faults if faults is not None \
+            else FaultPlan.from_env()
+        self.resilience = ResiliencePlane(self.stats)
+        self._span_hook = None
+        if self.faults is not None and self.faults.has_span_rules():
+            self._span_hook = self.faults.span_fault
+            tracing.set_fault_hook(self._span_hook)
         self.tracer = TraceRecorder(capacity=trace_capacity,
                                     slow_seconds=slow_query_seconds,
                                     enabled=tracing_enabled)
@@ -269,6 +293,8 @@ class QueryEngine:
 
     def shutdown(self, wait=True):
         """Stop accepting work and (optionally) join the workers."""
+        if self._span_hook is not None:
+            tracing.clear_fault_hook(self._span_hook)
         with self._lifecycle:
             if self._shutdown:
                 return
@@ -427,7 +453,7 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # sharded fan-out
     # ------------------------------------------------------------------
-    def map_shards(self, fns, graph=None, op="shard"):
+    def map_shards(self, fns, graph=None, op="shard", resilient=True):
         """Run per-shard callables on the pool with work stealing.
 
         Every ``fn`` is submitted as a pool job; the calling thread
@@ -442,9 +468,20 @@ class QueryEngine:
         Returns ``(results, seconds)`` in submission order, where
         ``seconds[i]`` is shard ``i``'s execution time.  ``graph``
         names the graph being fanned over; when given, the per-shard
-        durations are recorded as that graph's fan-out/skew stats.  A
-        failing shard propagates its exception to the caller.
+        durations are recorded as that graph's fan-out/skew stats.
+
+        With ``resilient=True`` (default) each callable is wrapped in
+        the per-job retry/fault policy for ``op``: a transient failure
+        (injected kill, corrupt payload) retries that shard alone with
+        backoff before the fan-out fails -- blast-radius isolation for
+        the thread substrate.  A shard that exhausts its retries (or
+        raises a non-retryable error) still propagates to the caller.
         """
+        if resilient:
+            deadline = self._fanout_deadline()
+            fns = [self._resilient_call(fn, None, op, i, deadline,
+                                        substrate="thread")
+                   for i, fn in enumerate(fns)]
         futures = []
         for fn in fns:
             wrapped = self._timed(fn)
@@ -507,51 +544,359 @@ class QueryEngine:
         """Run picklable ``(fn, args)`` per-shard jobs on the process
         backend; the GIL-free counterpart of :meth:`map_shards`.
 
-        With the thread backend (or when the process pool breaks or
-        the payload will not pickle) every job runs in-process through
-        the work-stealing thread fan-out instead -- results are
-        identical, only the parallelism differs.  Per-shard child
-        compute times feed the same fan-out/skew stats as the thread
-        path; transport overhead (round-trip minus child compute) is
-        recorded separately under the ``shard_ipc`` latency op.
+        The fault-tolerant fan-out.  The substrate is chosen by the
+        resilience plane's degradation ladder (``process`` ->
+        ``thread`` -> ``inline``): an open process breaker skips the
+        pool entirely, a pool death mid fan-out records a breaker
+        failure and falls back in-process -- results are identical,
+        only the parallelism differs.  On the process path each job
+        individually retries transient failures with backoff (capped
+        by the caller's remaining deadline, which also ships into the
+        worker for cooperative self-cancellation), a straggler past
+        p95 x alpha gets one hedged duplicate, an unpicklable job runs
+        inline without disturbing siblings, and a corrupt payload is
+        quarantined.  Per-shard child compute times feed the same
+        fan-out/skew stats as the thread path; transport overhead is
+        recorded under the ``shard_ipc`` latency op.
         """
-        pool = self._process
-        if pool is not None:
-            trace = tracing.current_trace()
+        jobs = list(jobs)
+        deadline = self._fanout_deadline()
+        # One fault draw per job for the whole dispatch -- however the
+        # substrate ladder reroutes it, the injection stream stays
+        # aligned with the (op, invocation) counter, so a plan replays
+        # identically whatever the breakers are doing.
+        faults = [self.faults.draw(op) if self.faults is not None
+                  else None for _ in jobs]
+        if self._process is not None:
+            level, _ = self.resilience.substrate("process")
+        else:
+            level, _ = self.resilience.substrate("thread")
+        if level == "process":
             try:
-                results, child_seconds, ipc_seconds, spans = \
-                    pool.run_jobs(jobs, timeout=self.default_timeout,
-                                  collect_spans=True)
+                results = self._map_jobs_process(jobs, faults, graph,
+                                                 op, deadline)
             except ProcessBackendError:
                 self.stats.count("process_fallbacks")
+                self.resilience.record("process", False)
+                level, _ = self.resilience.substrate("thread")
             else:
-                with_stats = zip(child_seconds, ipc_seconds)
-                for i, (child, ipc) in enumerate(with_stats):
-                    self.stats.observe(op, child)
-                    self.stats.observe("shard_ipc", ipc)
-                    if trace is not None:
-                        index = trace.add_span(
-                            "worker_execute", child,
-                            tags={"shard": i, "backend": "process"})
-                        trace.graft(index, spans[i])
-                        trace.add_span("shard_ipc", ipc,
-                                       tags={"shard": i})
-                if graph is not None:
-                    self.stats.observe_fanout(graph, child_seconds)
+                self.resilience.record("process", True)
                 return results
-        if len(jobs) == 1:
-            # One job and no pool: the queue round-trip buys nothing
-            # (the old parent path ran on the calling thread too), so
-            # run it here and keep only the stats.
-            fn, args = jobs[0]
-            start = time.perf_counter()
-            with tracing.span("worker_execute", shard=0,
-                              backend="inline"):
-                result = fn(*args)
-            self.stats.observe(op, time.perf_counter() - start)
-            return [result]
-        fns = [lambda fn=fn, args=args: fn(*args) for fn, args in jobs]
-        return self.map_shards(fns, graph=graph, op=op)[0]
+        return self._map_jobs_fallback(jobs, faults, graph, op,
+                                       deadline, level)
+
+    # -- the process substrate ------------------------------------------
+    def _map_jobs_process(self, jobs, faults, graph, op, deadline):
+        pool = self._process
+        policy = self.resilience.policy(op)
+        trace = tracing.current_trace()
+        wall = self._wall_deadline(deadline)
+        submitted = []
+        for i, (fn, args) in enumerate(jobs):
+            actions = faults[i]
+            try:
+                future = pool.submit_job(
+                    fn, self._apply_parent_faults(actions, args),
+                    fault=fault_injection.worker_actions(actions),
+                    deadline=wall)
+            except JobPayloadError:
+                # This job cannot ship; run it inline later, leave
+                # the pool (and every sibling) alone.
+                future = None
+            submitted.append((time.perf_counter(), future))
+        results = []
+        child_seconds = []
+        try:
+            for i, (started, future) in enumerate(submitted):
+                fn, args = jobs[i]
+                if future is None:
+                    child, spans, value = self._run_job_inline(
+                        fn, args, op, i, deadline)
+                    ipc = 0.0
+                else:
+                    try:
+                        child, spans, value, started = \
+                            self._collect_with_retries(
+                                pool, future, fn, args, op, i, started,
+                                deadline, wall, policy)
+                        ipc = max(
+                            time.perf_counter() - started - child, 0.0)
+                    except JobPayloadError:
+                        # Pickling failed in the pool's feeder thread
+                        # (surfaces on the future, not at submit):
+                        # same escape hatch, pool and siblings intact.
+                        child, spans, value = self._run_job_inline(
+                            fn, args, op, i, deadline)
+                        ipc = 0.0
+                self.stats.observe(op, child)
+                self.stats.observe("shard_ipc", ipc)
+                if trace is not None:
+                    index = trace.add_span(
+                        "worker_execute", child,
+                        tags={"shard": i, "backend": "process"})
+                    trace.graft(index, spans)
+                    trace.add_span("shard_ipc", ipc,
+                                   tags={"shard": i})
+                results.append(value)
+                child_seconds.append(child)
+        except BaseException:
+            # Don't leave the rest of the fan-out running for nobody:
+            # cancel what has not started (running jobs self-cancel
+            # at their next cooperative deadline check).
+            for _, later in submitted[len(results):]:
+                if later is not None:
+                    later.cancel()
+            raise
+        if graph is not None:
+            self.stats.observe_fanout(graph, child_seconds)
+        return results
+
+    def _collect_with_retries(self, pool, future, fn, args, op, index,
+                              started, deadline, wall, policy):
+        """One process job's result, absorbing transient failures up
+        to the policy's budget (and never past the deadline).  Returns
+        ``(child_seconds, spans, value, started)`` where ``started``
+        is the winning attempt's submission time."""
+        attempt = 1
+        while True:
+            try:
+                child, spans, value = self._job_result_hedged(
+                    pool, future, fn, args, op, started, deadline,
+                    wall, policy)
+                return child, spans, value, started
+            except RETRYABLE as exc:
+                self._quarantine_if_corrupt(exc)
+                delay = policy.backoff(
+                    attempt, token="{}:{}".format(op, index))
+                if attempt >= policy.attempts or (
+                        deadline is not None
+                        and time.perf_counter() + delay >= deadline):
+                    self.stats.count("retry_exhausted")
+                    raise
+                self.stats.count("retries")
+                tracing.add_span("retry", delay, op=op, shard=index,
+                                 attempt=attempt,
+                                 error=type(exc).__name__)
+                time.sleep(delay)
+                attempt += 1
+                started = time.perf_counter()
+                # Retry with the *original* args: parent-side fault
+                # mutations (corruption) were one-shot on the copy.
+                future = pool.submit_job(fn, args, deadline=wall)
+
+    def _job_result_hedged(self, pool, future, fn, args, op, started,
+                           deadline, wall, policy):
+        """Await one job, hedging a straggler: past the p95-based
+        threshold a duplicate is submitted, the first to finish wins,
+        and the loser is cancelled (cooperatively, in the worker, via
+        the shipped deadline)."""
+        budget = self._remaining(deadline)
+        threshold = self.resilience.hedge_threshold(op)
+        if threshold is None:
+            return pool.job_result(future, budget)
+        elapsed = time.perf_counter() - started
+        first_wait = max(threshold - elapsed, 0.0)
+        if budget is not None:
+            first_wait = min(first_wait, budget)
+        try:
+            return pool.job_result(future, first_wait)
+        except QueryTimeoutError:
+            if future.done():
+                # The *worker* reported a deadline expiry; that is
+                # the job's result, not a straggler signal.
+                raise
+            if deadline is not None \
+                    and time.perf_counter() >= deadline:
+                raise
+        try:
+            hedge = pool.submit_job(fn, args, deadline=wall)
+        except (ProcessBackendError, JobPayloadError):
+            # No capacity for a duplicate; keep waiting on the
+            # primary within the remaining budget.
+            return pool.job_result(future, self._remaining(deadline))
+        self.stats.count("hedges")
+        hedge_started = time.perf_counter()
+        done, _ = _futures_wait({future, hedge},
+                                timeout=self._remaining(deadline),
+                                return_when=FIRST_COMPLETED)
+        if not done:
+            hedge.cancel()
+            future.cancel()
+            raise QueryTimeoutError(
+                "hedged job pair missed the deadline")
+        winner = future if future in done else hedge
+        loser = hedge if winner is future else future
+        loser.cancel()
+        won = winner is hedge
+        self.stats.count("hedges_won" if won else "hedges_lost")
+        tracing.add_span("hedge",
+                         time.perf_counter() - hedge_started, op=op,
+                         won=won)
+        return pool.job_result(winner, self._remaining(deadline))
+
+    # -- the thread / inline substrates ---------------------------------
+    def _map_jobs_fallback(self, jobs, faults, graph, op, deadline,
+                           level):
+        """Run fan-out jobs in-process: through the work-stealing
+        thread fan-out normally, serially on the coordinating thread
+        when the thread breaker is open (the ladder's floor)."""
+        if len(jobs) == 1 or level != "thread":
+            # One job (the queue round-trip buys nothing) or inline
+            # degradation: run on the calling thread, keep the stats.
+            results = []
+            seconds = []
+            for i, (fn, args) in enumerate(jobs):
+                call = self._resilient_call(fn, args, op, i, deadline,
+                                            substrate=level,
+                                            actions=faults[i])
+                start = time.perf_counter()
+                with tracing.span("worker_execute", shard=i,
+                                  backend="inline"):
+                    results.append(call())
+                elapsed = time.perf_counter() - start
+                seconds.append(elapsed)
+                self.stats.observe(op, elapsed)
+            if graph is not None and len(jobs) > 1:
+                self.stats.observe_fanout(graph, seconds)
+            return results
+        fns = [self._resilient_call(fn, args, op, i, deadline,
+                                    substrate="thread",
+                                    actions=faults[i])
+               for i, (fn, args) in enumerate(jobs)]
+        return self.map_shards(fns, graph=graph, op=op,
+                               resilient=False)[0]
+
+    #: sentinel: "no pre-drawn actions -- draw at wrap time"
+    _DRAW = object()
+
+    def _resilient_call(self, fn, args, op, index, deadline,
+                        substrate="thread", actions=_DRAW):
+        """A zero-arg callable running ``fn`` under the in-process
+        fault/retry policy: drawn faults fire as they would in a
+        worker (corruption and pool-break are serialisation/pool
+        faults and do not apply in-process), the caller's deadline is
+        visible through the cooperative check, and transient failures
+        retry with backoff within the deadline.  ``args=None`` wraps
+        an already-bound callable; ``actions`` carries the dispatch's
+        pre-drawn faults (the default draws fresh -- the
+        :meth:`map_shards` direct path, which is its own dispatch)."""
+        policy = self.resilience.policy(op)
+        if actions is QueryEngine._DRAW:
+            actions = self.faults.draw(op) \
+                if self.faults is not None else None
+        shipped = fault_injection.worker_actions(actions)
+        wall = self._wall_deadline(deadline)
+        breaker = substrate == "thread"
+
+        def call():
+            attempt = 1
+            fault = shipped
+            while True:
+                set_job_deadline(wall)
+                try:
+                    fault_injection.apply_worker_actions(fault)
+                    value = fn(*args) if args is not None else fn()
+                    if fault_injection.wants_duplicate(fault):
+                        value = fn(*args) if args is not None else fn()
+                except RETRYABLE as exc:
+                    self._quarantine_if_corrupt(exc)
+                    if breaker:
+                        self.resilience.record("thread", False)
+                    delay = policy.backoff(
+                        attempt, token="{}:{}".format(op, index))
+                    if attempt >= policy.attempts or (
+                            deadline is not None
+                            and time.perf_counter() + delay
+                            >= deadline):
+                        self.stats.count("retry_exhausted")
+                        raise
+                    self.stats.count("retries")
+                    tracing.add_span("retry", delay, op=op,
+                                     shard=index, attempt=attempt,
+                                     error=type(exc).__name__)
+                    time.sleep(delay)
+                    attempt += 1
+                    fault = None  # injected faults are one-shot
+                else:
+                    if breaker:
+                        self.resilience.record("thread", True)
+                    return value
+                finally:
+                    set_job_deadline(None)
+
+        return call
+
+    # -- shared fan-out plumbing ----------------------------------------
+    def _fanout_deadline(self):
+        """The executing job's deadline (perf_counter based), falling
+        back to ``default_timeout`` from now -- the budget every
+        retry, hedge and shipped worker deadline lives within."""
+        deadline = getattr(_job_context, "deadline", None)
+        if deadline is not None:
+            return deadline
+        if self.default_timeout is not None:
+            return time.perf_counter() + self.default_timeout
+        return None
+
+    @staticmethod
+    def _remaining(deadline):
+        if deadline is None:
+            return None
+        return max(deadline - time.perf_counter(), 0.0)
+
+    @staticmethod
+    def _wall_deadline(deadline):
+        """Translate a perf_counter deadline to the wall clock (what
+        crosses the process boundary)."""
+        if deadline is None:
+            return None
+        return time.time() + max(deadline - time.perf_counter(), 0.0)
+
+    def _apply_parent_faults(self, actions, args):
+        """Fire parent-side fault actions at the dispatch site:
+        ``pool_break`` fails the submission as a dead pool would,
+        ``corrupt`` flips a byte in each shipped payload blob (on a
+        copy -- retries resubmit the pristine original)."""
+        if not actions:
+            return args
+        for kind, _ in actions:
+            if kind == "pool_break":
+                raise ProcessBackendError(
+                    "fault injection broke the process pool")
+            if kind == "corrupt":
+                args = tuple(
+                    fault_injection.corrupt_blob(value)
+                    if isinstance(value, (bytes, bytearray)) else value
+                    for value in args)
+        return args
+
+    def _run_job_inline(self, fn, args, op, index, deadline):
+        """One job on the coordinating thread (the unpicklable-job
+        escape hatch): same timing/span contract as a worker."""
+        self.stats.count("job_inline_fallbacks")
+        call = self._resilient_call(fn, args, op, index, deadline,
+                                    substrate="inline")
+        start = time.perf_counter()
+        with tracing.collect_worker_spans() as log:
+            value = call()
+        return time.perf_counter() - start, log.wire(), value
+
+    def _quarantine_if_corrupt(self, exc):
+        """Quarantine the payload a corruption error names: the
+        resilience plane remembers the identity (so the event is
+        visible) and the index manager drops its cached copy (so the
+        next query re-freezes from the live graph).  Corruption never
+        feeds the breaker -- one poisoned payload must not condemn
+        the backend for every other graph."""
+        if not isinstance(exc, PayloadCorruptionError):
+            return
+        key = exc.key
+        if key is None:
+            return
+        if self.resilience.quarantine(key):
+            discard = getattr(self.indexes, "discard_payload", None)
+            if discard is not None:
+                discard(key)
 
     def _build_in_process(self, graph, core=None):
         """Index-build executor wired into the
@@ -600,6 +945,19 @@ class QueryEngine:
         ready = getattr(self.indexes, "full_payload_ready", None)
         return bool(ready is not None and ready(name))
 
+    def _with_fresh_payload_retry(self, run):
+        """Run a payload-backed fan-out, retrying once from a freshly
+        frozen payload when corruption escaped the per-job retries.
+        The quarantine hook already discarded the cached copy, so the
+        inner ``run`` re-freezes from the live graph -- the one
+        recovery that helps when the cached bytes themselves (not a
+        transient transport) are what is poisoned."""
+        try:
+            return run()
+        except PayloadCorruptionError:
+            self.stats.count("payload_retries")
+            return run()
+
     def _full_payload_job_arg(self, name):
         """``(payload, job payload argument)`` for graph ``name``:
         the pre-pickled blob when jobs ship to worker processes, the
@@ -627,11 +985,14 @@ class QueryEngine:
         """
         from repro.engine.backends import shard_full_query_job
 
-        payload, arg = self._full_payload_job_arg(name)
-        wires = self.map_shard_jobs(
-            [(shard_full_query_job,
-              (payload.key, arg, algorithm, q, k, keywords, base))],
-            op="full_query")
+        def run():
+            payload, arg = self._full_payload_job_arg(name)
+            return self.map_shard_jobs(
+                [(shard_full_query_job,
+                  (payload.key, arg, algorithm, q, k, keywords,
+                   base))],
+                op="full_query")
+        wires = self._with_fresh_payload_retry(run)
         self.stats.count("worker_full_query")
         graph = self.indexes.graph(name)
         return [Community.from_wire(graph, wire) for wire in wires[0]]
@@ -651,14 +1012,33 @@ class QueryEngine:
         """
         from repro.engine.backends import batch_full_query_job
 
-        payload, arg = self._full_payload_job_arg(name)
-        wires = self.map_shard_jobs(
-            [(batch_full_query_job, (payload.key, arg, tuple(specs)))],
-            op="full_query_batch")
+        def run():
+            payload, arg = self._full_payload_job_arg(name)
+            member_faults = None
+            if self.faults is not None:
+                drawn = [fault_injection.worker_actions(
+                            self.faults.draw("batch_member"))
+                         for _ in specs]
+                member_faults = drawn if any(drawn) else None
+            return self.map_shard_jobs(
+                [(batch_full_query_job,
+                  (payload.key, arg, tuple(specs), member_faults))],
+                op="full_query_batch")
+        wires = self._with_fresh_payload_retry(run)
         self.stats.count("worker_full_query", len(specs))
         graph = self.indexes.graph(name)
-        return [[Community.from_wire(graph, wire) for wire in wire_list]
-                for wire_list in wires[0]]
+        results = []
+        for outcome in wires[0]:
+            status, value = outcome
+            if status == "ok":
+                results.append([Community.from_wire(graph, wire)
+                                for wire in value])
+            else:
+                # One member's failure stays that member's failure:
+                # the batching layer retries it solo outside the
+                # group (blast-radius isolation).
+                results.append(BatchMemberError(value))
+        return results
 
     def detect(self, name, algorithm, params=None, per_component=False):
         """Run one whole-graph CD detection on the frozen payload.
@@ -677,7 +1057,6 @@ class QueryEngine:
         """
         from repro.engine.backends import component_detect_job
 
-        payload, arg = self._full_payload_job_arg(name)
         graph = self.indexes.graph(name)
         wire_params = tuple(sorted(dict(params or {}).items()))
         components = [None]
@@ -687,13 +1066,18 @@ class QueryEngine:
                 for component in graph.connected_components())
             if len(components) == 1:
                 components = [None]
-        jobs = [(component_detect_job,
-                 (payload.key, arg, algorithm, component, wire_params))
-                for component in components]
         self.stats.count("detect_runs")
-        self.stats.count("detect_jobs", len(jobs))
-        self._last_detect_parallelism = len(jobs)
-        wires = self.map_shard_jobs(jobs, op="detect")
+        self.stats.count("detect_jobs", len(components))
+        self._last_detect_parallelism = len(components)
+
+        def run():
+            payload, arg = self._full_payload_job_arg(name)
+            jobs = [(component_detect_job,
+                     (payload.key, arg, algorithm, component,
+                      wire_params))
+                    for component in components]
+            return self.map_shard_jobs(jobs, op="detect")
+        wires = self._with_fresh_payload_retry(run)
         communities = []
         for wire_list in wires:
             communities.extend(Community.from_wire(graph, wire)
@@ -763,6 +1147,7 @@ class QueryEngine:
             with self._lifecycle:
                 self._in_flight += 1
             start = time.perf_counter()
+            _job_context.deadline = job.deadline
             try:
                 with tracing.activate(trace), \
                         tracing.span("execute", op=job.op):
@@ -776,6 +1161,7 @@ class QueryEngine:
                 self.tracer.finish(trace, "ok")
                 future.set_result(result)
             finally:
+                _job_context.deadline = None
                 elapsed = time.perf_counter() - start
                 self.stats.observe(job.op, elapsed)
                 with self._lifecycle:
@@ -788,6 +1174,15 @@ class QueryEngine:
     def queue_depth(self):
         """How many submitted jobs are waiting for a worker."""
         return self._queue.qsize()
+
+    @property
+    def accepting(self):
+        """Whether :meth:`submit` would admit a query right now --
+        the readiness probe's signal (not shut down, queue not at the
+        admission-control ceiling)."""
+        if self._shutdown:
+            return False
+        return self._queue.qsize() < self.max_queue
 
     def snapshot(self):
         """Everything ``/api/metrics`` reports about the engine."""
@@ -814,6 +1209,7 @@ class QueryEngine:
             "memo": self.memo.stats(),
             "truss": self.indexes.truss_stats(),
             "traces": self.tracer.stats(),
+            "resilience": self.resilience.snapshot(faults=self.faults),
         })
         if self.explorer is not None:
             names = self.indexes.names()

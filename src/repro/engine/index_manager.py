@@ -330,6 +330,22 @@ class IndexManager:
                 self._full_payloads[name] = payload
         return payload, True
 
+    def discard_payload(self, key):
+        """Drop any cached payload whose identity is ``key``.
+
+        The corruption-quarantine hook: when a worker reports a
+        payload that failed to unpickle, the engine discards exactly
+        that ``(epoch, graph, ..., version)`` entry so the next query
+        re-freezes from the live graph instead of re-shipping poisoned
+        bytes.  Returns whether anything was dropped.
+        """
+        with self._lock:
+            for name, payload in list(self._full_payloads.items()):
+                if payload.key == key:
+                    del self._full_payloads[name]
+                    return True
+        return False
+
     def full_payload_ready(self, name):
         """Whether a current-version whole-graph payload is cached."""
         with self._lock:

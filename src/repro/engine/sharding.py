@@ -404,6 +404,19 @@ class ShardedIndexManager(IndexManager):
                 super().unregister(entry)
         super().unregister(name)
 
+    def discard_payload(self, key):
+        """Quarantine hook covering shard payloads too: a corrupt
+        per-shard blob is dropped from the shard-payload cache so the
+        next fan-out re-freezes that shard."""
+        if super().discard_payload(key):
+            return True
+        with self._lock:
+            for cache_key, payload in list(self._payloads.items()):
+                if payload.key == key:
+                    del self._payloads[cache_key]
+                    return True
+        return False
+
     # ------------------------------------------------------------------
     # shard reads
     # ------------------------------------------------------------------

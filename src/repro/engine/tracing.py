@@ -197,6 +197,27 @@ class _LogSpan:
         return False
 
 
+# Fault-injection hook: when a FaultPlan with span-targeted rules is
+# active (see repro.engine.faults), every span entry consults it --
+# the one seam that lets a test raise "inside" any named phase.  None
+# (the default) keeps the hot path to a single global read.
+_fault_hook = None
+
+
+def set_fault_hook(hook):
+    """Install (or clear, with ``None``) the span-entry fault hook."""
+    global _fault_hook
+    _fault_hook = hook
+
+
+def clear_fault_hook(hook):
+    """Uninstall ``hook`` if it is the active one (engines clear only
+    their own plan's hook on shutdown)."""
+    global _fault_hook
+    if _fault_hook is hook:
+        _fault_hook = None
+
+
 def span(name, **tags):
     """Record one phase around the ``with`` body.
 
@@ -205,6 +226,8 @@ def span(name, **tags):
     cheap no-op otherwise.  Yields the :class:`Span` (or ``None``)
     so callers can add result tags (e.g. cache hit/miss).
     """
+    if _fault_hook is not None:
+        _fault_hook(name)
     trace = current_trace()
     if trace is not None:
         return trace.span(name, **tags)
@@ -644,6 +667,43 @@ def render_prometheus(metrics_doc, prefix="repro"):
     for reason, count in sorted(
             (cache.get("invalidations_by_reason") or {}).items()):
         exp.sample(name, {"reason": _sanitize(reason)}, count)
+
+    resilience = engine.get("resilience") or {}
+    name = prefix + "_resilience_events_total"
+    exp.header(name, "counter",
+               "Resilience events (retries, hedges, quarantines, ...).")
+    for event, count in sorted(
+            (resilience.get("counters") or {}).items()):
+        exp.sample(name, {"event": _sanitize(event)}, count)
+    breakers = resilience.get("breakers") or {}
+    name = prefix + "_breaker_state"
+    exp.header(name, "gauge",
+               "Circuit breaker state per substrate "
+               "(0=closed, 1=half_open, 2=open).")
+    state_codes = {"closed": 0, "half_open": 1, "open": 2}
+    for backend in sorted(breakers):
+        exp.sample(name, {"backend": _sanitize(backend)},
+                   state_codes.get(breakers[backend].get("state"), 0))
+    name = prefix + "_breaker_degraded_seconds_total"
+    exp.header(name, "counter",
+               "Seconds each substrate's breaker has spent "
+               "open or half-open.")
+    for backend in sorted(breakers):
+        exp.sample(name, {"backend": _sanitize(backend)},
+                   float(breakers[backend].get("degraded_seconds",
+                                               0.0)))
+    name = prefix + "_breaker_transitions_total"
+    exp.header(name, "counter",
+               "Breaker state transitions per substrate, by kind.")
+    for backend in sorted(breakers):
+        doc = breakers[backend]
+        for kind in ("opens", "probes", "promotions"):
+            exp.sample(name, {"backend": _sanitize(backend),
+                              "kind": kind}, doc.get(kind, 0))
+    name = prefix + "_quarantined_payloads"
+    exp.header(name, "gauge",
+               "Payload identities currently quarantined.")
+    exp.sample(name, {}, resilience.get("quarantined", 0))
 
     traces = engine.get("traces", {})
     name = prefix + "_traces_recorded_total"

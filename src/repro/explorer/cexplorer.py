@@ -76,7 +76,7 @@ class CExplorer:
     """
 
     def __init__(self, profiles=None, cache_size=256, workers=2,
-                 max_queue=64, backend="thread"):
+                 max_queue=64, backend="thread", faults=None):
         self._graphs = {}
         self._current = None
         self.profiles = profiles if profiles is not None else ProfileStore()
@@ -86,12 +86,15 @@ class CExplorer:
         # ``backend="process"`` runs shard subqueries and CL-tree
         # builds in a multiprocessing pool over frozen CSR snapshots
         # (see repro.engine.backends); results are identical to the
-        # default thread backend.
+        # default thread backend.  ``faults`` installs a seeded
+        # fault-injection plan (see repro.engine.faults) for chaos
+        # testing; None reads REPRO_FAULT_PLAN from the environment.
         self.engine = QueryEngine(explorer=self, workers=workers,
                                   max_queue=max_queue,
                                   cache_size=cache_size,
                                   index_manager=self.indexes,
-                                  backend=backend)
+                                  backend=backend,
+                                  faults=faults)
         # The engine owns the result cache; exposed here because the
         # facade has always published ``explorer.cache``.
         self.cache = self.engine.cache

@@ -84,6 +84,8 @@ ERROR_CODES = {
     "session_not_found": (404, "the session id is unknown"),
     "engine_saturated": (429, "admission control rejected the query; "
                               "back off and retry"),
+    "not_ready": (503, "the server is not ready to accept queries; "
+                       "retry after a backoff"),
     "cancelled": (503, "the query was cancelled before it ran"),
     "deadline_exceeded": (504, "the query missed the server deadline"),
     "internal": (500, "unexpected server-side failure"),
@@ -308,6 +310,40 @@ def h_stats(state, req):
 
 def h_metrics(state, req):
     return state.metrics()
+
+
+def h_health(state, req):
+    """Liveness: answers 200 whenever the process can serve at all.
+
+    ``degraded`` flags an open/half-open backend breaker -- the
+    server is still alive (queries run on a fallback substrate), but
+    an operator dashboard should notice.
+    """
+    resilience = state.engine.resilience
+    return {
+        "status": "ok",
+        "uptime_seconds": round(time.time() - state.started_at, 3),
+        "backend": state.engine.backend,
+        "degraded": bool(resilience.snapshot()["degraded"]),
+    }
+
+
+def h_ready(state, req):
+    """Readiness: 200 only when a query submitted right now would be
+    admitted; 503 ``not_ready`` when the engine is shut down or the
+    admission queue is at its ceiling (a load balancer should route
+    elsewhere and retry)."""
+    engine = state.engine
+    if not engine.accepting:
+        raise ApiError("not_ready",
+                       "engine is not accepting queries "
+                       "(queue {}/{})".format(engine.queue_depth,
+                                              engine.max_queue))
+    return {
+        "ready": True,
+        "queue_depth": engine.queue_depth,
+        "max_queue": engine.max_queue,
+    }
 
 
 def h_traces(state, req):
@@ -579,6 +615,8 @@ _SPECS = (
     ("GET", "/v1/graphs/{name}", None, h_graph, {}),
     ("GET", "/v1/stats", "/api/stats", h_stats, {"blocking": True}),
     ("GET", "/v1/metrics", "/api/metrics", h_metrics, {}),
+    ("GET", "/v1/health", None, h_health, {}),
+    ("GET", "/v1/ready", None, h_ready, {}),
     ("GET", "/v1/traces", "/api/traces", h_traces, {}),
     ("GET", "/v1/traces/{query_id}", "/api/traces/{query_id}",
      h_trace, {}),

@@ -51,6 +51,65 @@ class QueryCancelledError(EngineError):
     """A submitted query was cancelled before it ran."""
 
 
+class WorkerKilledError(EngineError):
+    """A worker died (or was killed by fault injection) mid-job.
+
+    The job itself is idempotent, so the retry policy treats this as
+    transient: the engine re-runs the job with backoff instead of
+    failing the query.
+    """
+
+
+class FaultInjectedError(EngineError):
+    """An error raised deliberately by an active
+    :class:`~repro.engine.faults.FaultPlan` (``error`` rules firing
+    inside spans or job dispatch).  Retryable, like any transient
+    worker failure."""
+
+
+class PayloadCorruptionError(EngineError):
+    """A shipped payload failed to unpickle in the worker.
+
+    Carries the payload ``key`` so the engine can quarantine exactly
+    the ``(graph, version)`` payload at fault instead of condemning
+    the whole backend -- corruption is a *data* problem, pool death an
+    *infrastructure* problem, and the circuit breaker only cares about
+    the latter.
+    """
+
+    def __init__(self, message, key=None):
+        super().__init__(message)
+        self.key = key
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0], self.key))
+
+
+class JobPayloadError(EngineError):
+    """A single job's payload would not pickle for process shipping.
+
+    Unlike :class:`~repro.engine.backends.ProcessBackendError` this
+    fails only the offending job -- the pool stays up and sibling jobs
+    keep running (the unpicklable payload will not become picklable on
+    a fresh pool).
+    """
+
+    def __init__(self, message, key=None):
+        super().__init__(message)
+        self.key = key
+
+    def __reduce__(self):
+        return (self.__class__, (self.args[0], self.key))
+
+
+class BatchMemberError(EngineError):
+    """One member of a batched query group failed inside the shared
+    worker job.  The batching layer retries the member solo instead of
+    poisoning the whole clique; this carries the worker-side failure
+    description for the retry's error message if the solo run also
+    fails."""
+
+
 class UnknownAlgorithmError(CExplorerError, KeyError):
     """An algorithm name was not found in the plug-in registry."""
 

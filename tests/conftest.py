@@ -37,6 +37,16 @@ def dblp_medium():
     return generate_dblp_graph()
 
 
+@pytest.fixture
+def fault_plan():
+    """Factory: a seeded fault-injection plan from a spec string
+    (``'seed=7;kill:shard@0.05'`` -- see repro.engine.faults), ready
+    to hand to ``CExplorer(faults=...)`` / ``QueryEngine(faults=...)``.
+    """
+    from repro.engine.faults import FaultPlan
+    return FaultPlan.from_spec
+
+
 def build_graph(n, edge_pairs, keyword_map=None):
     """Build an AttributedGraph from raw data (test helper)."""
     g = AttributedGraph()

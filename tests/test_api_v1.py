@@ -176,6 +176,9 @@ class TestErrorCodes:
             "cancelled", "internal",
             # driven by the dedicated saturation/deadline tests below
             "engine_saturated", "deadline_exceeded",
+            # driven live in tests/test_resilience.py (readiness
+            # flips only with a shut-down engine or a full queue)
+            "not_ready",
         }
         assert exercised == set(ERROR_CODES)
 
