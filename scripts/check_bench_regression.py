@@ -20,7 +20,10 @@ compute, which hold their meaning across pool sizes and runners:
 * ``resilience.success_rate`` / ``resilience.identical_rate`` --
   queries answered, and answered byte-identically to the fault-free
   run, under the seeded 5% worker-kill plan (higher is better;
-  both should be 1.0).
+  both should be 1.0);
+* ``payload_plane.shard_ipc_collapse`` -- how many times the pickled
+  transport's ``shard_ipc`` time exceeds the zero-copy shared-memory
+  transport's on the same sharded cold workload (higher is better).
 
 Usage: ``python scripts/check_bench_regression.py [--threshold 0.2]``
 (run after the bench has written the current commit's entry).  Exits
@@ -56,6 +59,8 @@ METRICS = (
      "query success rate under 5% worker-kill plan"),
     (("resilience", "identical_rate"),
      "byte-identical answers under 5% worker-kill plan"),
+    (("payload_plane", "shard_ipc_collapse"),
+     "shard_ipc collapse: pickled / zero-copy transport"),
 )
 
 

@@ -40,7 +40,10 @@ LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 
 # The JSON metrics keys the dashboard and renderer contractually read.
 ENGINE_KEYS = ("queue_depth", "in_flight", "workers", "counters",
-               "latency", "traces", "resilience")
+               "latency", "traces", "resilience", "payloads")
+# The payload-plane block (see repro.engine.payloads.plane_stats).
+PAYLOAD_KEYS = ("transport", "shm_available", "shm_segments",
+                "payload_bytes", "registry_entries", "attach_failures")
 TRACE_KEYS = ("enabled", "capacity", "buffered", "recorded",
               "slow_queries", "slow_threshold_seconds")
 HISTOGRAM_KEYS = ("count", "mean_ms", "p50_ms", "p95_ms", "max_ms",
@@ -103,6 +106,13 @@ def check_json_metrics(doc):
     for key in RESILIENCE_KEYS:
         if key not in resilience:
             yield "engine.resilience missing key {!r}".format(key)
+    payloads = engine.get("payloads", {})
+    for key in PAYLOAD_KEYS:
+        if key not in payloads:
+            yield "engine.payloads missing key {!r}".format(key)
+    spill = doc.get("cache", {}).get("spill")
+    if not isinstance(spill, dict) or "enabled" not in spill:
+        yield "cache doc missing 'spill' sub-document"
     counters = resilience.get("counters", {})
     for key in RESILIENCE_COUNTERS:
         if key not in counters:
@@ -250,11 +260,13 @@ def main(argv):
     problems.extend(check_exposition(text))
     for family in ("repro_resilience_events_total",
                    "repro_breaker_state",
-                   "repro_quarantined_payloads"):
+                   "repro_quarantined_payloads",
+                   "repro_shm_segments",
+                   "repro_payload_bytes",
+                   "repro_payload_attach_failures_total"):
         if "\n# TYPE {} ".format(family) not in text:
             problems.append(
-                "exposition missing resilience family "
-                "{!r}".format(family))
+                "exposition missing family {!r}".format(family))
     for problem in problems:
         print("SCHEMA: {}".format(problem))
     if problems:

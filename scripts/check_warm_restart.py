@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Warm-restart smoke check (the CI persistence job).
+
+Simulates an operator restart: a *cold* process builds a graph with a
+persistent store directory, indexes it, answers a query, and exits; a
+second *warm* process pointed at the same store must come up without
+rebuilding anything.  Each phase runs in its own interpreter (the
+script re-execs itself), so the warm path is exercised across a real
+process boundary -- mmap'd frozen payloads, the serialized CL-tree,
+and the result spill all have to survive on disk, not in memory.
+
+The warm phase fails the check unless:
+
+* ``warm_restores == 1`` and ``warm_restore_failures == 0``;
+* the index manager reports zero CL-tree builds after ``index()``;
+* the cached query is answered from the result spill
+  (``spill_hits >= 1``);
+* the community returned matches the cold phase byte for byte;
+* no shared-memory segments are left behind.
+
+Usage: python scripts/check_warm_restart.py
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def _serialise(answer):
+    """Communities as sorted member-name lists, comparable as JSON."""
+    return sorted(sorted(community.member_names())
+                  for community in answer)
+
+
+def _explorer(store):
+    from repro.datasets import DblpConfig, generate_dblp_graph
+    from repro.explorer.cexplorer import CExplorer
+
+    graph = generate_dblp_graph(
+        DblpConfig(n_authors=300, n_communities=8, seed=13))
+    explorer = CExplorer(workers=2, store_dir=store)
+    explorer.add_graph("g", graph)
+    return explorer, graph.label(15)
+
+
+def run_cold(store, out_path):
+    explorer, vertex = _explorer(store)
+    try:
+        explorer.index()
+        answer = explorer.search("acq", vertex, k=4)
+        saves = explorer.engine.stats.get("store_saves")
+        if saves != 1:
+            raise SystemExit(
+                "cold phase: expected 1 store save, saw {}".format(saves))
+    finally:
+        explorer.engine.shutdown()  # flushes cache entries to the spill
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump({"answer": _serialise(answer)}, handle)
+
+
+def run_warm(store, out_path):
+    from repro.engine import payloads as payload_plane
+
+    explorer, vertex = _explorer(store)
+    try:
+        stats = explorer.engine.stats
+        if stats.get("warm_restores") != 1:
+            raise SystemExit("warm phase: index was not restored from disk")
+        if stats.get("warm_restore_failures") != 0:
+            raise SystemExit("warm phase: restore reported failures")
+        explorer.index()
+        builds = explorer.indexes.stats("g")["builds"]
+        if builds != 0:
+            raise SystemExit(
+                "warm phase: expected 0 CL-tree builds, saw {}".format(
+                    builds))
+        answer = explorer.search("acq", vertex, k=4)
+        cache = explorer.engine.cache.stats()
+        if cache["spill_hits"] < 1:
+            raise SystemExit(
+                "warm phase: query missed the result spill "
+                "(spill_hits={})".format(cache["spill_hits"]))
+    finally:
+        explorer.engine.shutdown()
+    leaked = payload_plane.live_segments()
+    if leaked:
+        raise SystemExit(
+            "warm phase: {} shared-memory segment(s) leaked".format(leaked))
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump({"answer": _serialise(answer)}, handle)
+
+
+def _phase(name, store, out_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__),
+         "--phase", name, "--store", store, "--out", out_path],
+        env=env, cwd=REPO_ROOT)
+    if proc.returncode != 0:
+        raise SystemExit("{} phase failed (exit {})".format(
+            name, proc.returncode))
+    with open(out_path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main(argv):
+    if "--phase" in argv:
+        phase = argv[argv.index("--phase") + 1]
+        store = argv[argv.index("--store") + 1]
+        out_path = argv[argv.index("--out") + 1]
+        if phase == "cold":
+            run_cold(store, out_path)
+        elif phase == "warm":
+            run_warm(store, out_path)
+        else:
+            raise SystemExit("unknown phase: {}".format(phase))
+        return 0
+
+    workdir = tempfile.mkdtemp(prefix="warm-restart-")
+    try:
+        store = os.path.join(workdir, "store")
+        cold = _phase("cold", store, os.path.join(workdir, "cold.json"))
+        warm = _phase("warm", store, os.path.join(workdir, "warm.json"))
+        if cold["answer"] != warm["answer"]:
+            print("warm answer diverged from cold answer", file=sys.stderr)
+            return 1
+        print("warm restart ok: index restored without a rebuild, "
+              "{} communit{} matched across restart".format(
+                  len(cold["answer"]),
+                  "y" if len(cold["answer"]) == 1 else "ies"))
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

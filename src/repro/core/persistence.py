@@ -9,6 +9,7 @@ benefit).
 """
 
 import json
+import os
 
 from repro.core.cltree import CLTree, CLTreeNode
 from repro.util.errors import GraphFormatError
@@ -37,9 +38,24 @@ def cltree_to_dict(tree):
 
 
 def save_cltree(tree, path):
-    """Write the index document to ``path``; returns the path."""
-    with open(path, "w", encoding="utf-8") as f:
-        json.dump(cltree_to_dict(tree), f)
+    """Write the index document to ``path``; returns the path.
+
+    The write is atomic (tmp file + ``os.replace``): a crashed or
+    concurrent writer can never leave a truncated artefact behind for
+    a warm restart to trip over.
+    """
+    path = os.fspath(path)
+    tmp = "{}.tmp.{}".format(path, os.getpid())
+    try:
+        with open(tmp, "w", encoding="utf-8") as f:
+            json.dump(cltree_to_dict(tree), f)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
     return path
 
 

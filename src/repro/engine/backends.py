@@ -53,6 +53,7 @@ from repro.core.cltree import build_cltree
 from repro.core.kcore import connected_k_core, core_decomposition
 from repro.core.ktruss import truss_decomposition
 from repro.engine import faults as fault_injection
+from repro.engine import payloads as payload_plane
 from repro.engine import tracing
 from repro.util.errors import (
     EngineError,
@@ -150,9 +151,17 @@ def _timed_job(fn, args, fault=None, deadline=None):
 
 
 def _loads_payload(key, blob):
-    """Unpickle a shipped payload, converting any decode failure into
+    """Resolve a shipped payload to its object form.
+
+    ``blob`` is either a payload-plane ref (shared-memory segment or
+    fork-registry locator, resolved zero-copy by
+    :func:`repro.engine.payloads.attach`) or the pickled bytes of the
+    fallback rung.  Any failure -- torn segment, registry miss,
+    undecodable bytes -- becomes
     :class:`~repro.util.errors.PayloadCorruptionError` carrying the
-    payload identity -- the signal the engine's quarantine keys on."""
+    payload identity, the signal the engine's quarantine keys on."""
+    if payload_plane.is_ref(blob):
+        return payload_plane.attach(blob)
     try:
         return pickle.loads(blob)
     except Exception as exc:
@@ -254,6 +263,12 @@ def _full_graph_entry(key, payload):
     if entry is None:
         if isinstance(payload, (bytes, bytearray)):
             with tracing.span("index_thaw", bytes=len(payload)):
+                frozen = _loads_payload(key, payload)
+        elif payload_plane.is_ref(payload):
+            # Zero-copy rung: attach the shared segment (or registry
+            # snapshot) instead of unpickling -- near-free, but still
+            # spanned so traces show which rung served the query.
+            with tracing.span("index_thaw", zero_copy=True):
                 frozen = _loads_payload(key, payload)
         else:
             frozen = payload

@@ -49,6 +49,7 @@ Synchronous callers (library users, the batch harness) use
 import queue
 import threading
 import time
+import weakref
 from concurrent.futures import FIRST_COMPLETED
 from concurrent.futures import wait as _futures_wait
 
@@ -63,6 +64,7 @@ from repro.engine.backends import (
 from repro.engine.cache import ResultCache, SubproblemMemo
 from repro.engine.faults import FaultPlan
 from repro.engine.index_manager import IndexManager
+from repro.engine import payloads as payload_plane
 from repro.engine.retry import RETRYABLE, ResiliencePlane
 from repro.engine.stats import EngineStats
 from repro.engine import tracing
@@ -190,6 +192,43 @@ class _Job:
 
 _SHUTDOWN = object()
 
+# How long an idle admission worker blocks on the queue before
+# re-checking that its engine still exists (see _engine_worker).
+_WORKER_IDLE_POLL = 0.5
+
+
+def _engine_worker(engine_ref, work_queue):
+    """Admission-worker loop, deliberately *outside* the engine.
+
+    Running threads are GC roots, so a ``target=self._worker`` thread
+    would pin its engine (and therefore every published shared-memory
+    segment) for the life of the process.  The loop instead holds only
+    a weakref plus the queue: an engine dropped without ``shutdown()``
+    becomes collectable, its index manager's finalizer releases the
+    payload segments, and the orphaned workers notice on their next
+    idle poll and exit."""
+    while True:
+        try:
+            job = work_queue.get(timeout=_WORKER_IDLE_POLL)
+        except queue.Empty:
+            if engine_ref() is None:
+                return
+            continue
+        if job is _SHUTDOWN:
+            return
+        engine = engine_ref()
+        if engine is None:
+            job.future.set_exception(CExplorerError(
+                "query engine was discarded with jobs still queued"))
+            return
+        try:
+            engine._run_job(job)
+        finally:
+            # Unbind before blocking on the next get(): a job whose
+            # fn is a bound method (batch groups) would otherwise
+            # keep the engine strongly reachable from this frame.
+            del engine, job
+
 
 class QueryEngine:
     """Bounded-concurrency execution front-end for a CExplorer.
@@ -203,7 +242,7 @@ class QueryEngine:
                  default_timeout=None, cache_size=512,
                  index_manager=None, memo_size=128, backend="thread",
                  trace_capacity=256, slow_query_seconds=1.0,
-                 tracing_enabled=True, faults=None):
+                 tracing_enabled=True, faults=None, store=None):
         if workers < 1:
             raise ValueError("workers must be positive")
         if max_queue < 1:
@@ -217,6 +256,13 @@ class QueryEngine:
             else IndexManager()
         self.cache = ResultCache(cache_size)
         self.memo = SubproblemMemo(memo_size)
+        # Optional persistent warm store: result-cache entries spill
+        # to disk on eviction/shutdown and readmit lazily, keyed
+        # ``(graph, version, query)`` -- see repro.engine.payloads.
+        self.store = store
+        if store is not None:
+            self.cache.spill = payload_plane.ResultSpill(
+                store, self._graph_version, self._rebind_wires)
         self.stats = EngineStats()
         # Fault injection (None in production unless REPRO_FAULT_PLAN
         # is set -- the CI chaos job's hook) and the resilience plane:
@@ -284,15 +330,22 @@ class QueryEngine:
         with self._lifecycle:
             if self._threads or self._shutdown:
                 return
+            engine_ref = weakref.ref(self)
             for i in range(self.workers):
                 thread = threading.Thread(
-                    target=self._worker,
+                    target=_engine_worker, args=(engine_ref, self._queue),
                     name="query-engine-{}".format(i), daemon=True)
                 thread.start()
                 self._threads.append(thread)
 
     def shutdown(self, wait=True):
-        """Stop accepting work and (optionally) join the workers."""
+        """Stop accepting work and (optionally) join the workers.
+
+        Also flushes warm state out and zero-copy state away: cached
+        results spill to the store (so a restarted server readmits
+        them), and every payload segment is released -- a clean
+        shutdown leaves zero shared-memory segments behind.
+        """
         if self._span_hook is not None:
             tracing.clear_fault_hook(self._span_hook)
         with self._lifecycle:
@@ -308,6 +361,10 @@ class QueryEngine:
             # resurrect a pool nothing would ever close.
             if self.indexes.build_executor == self._build_in_process:
                 self.indexes.build_executor = None
+        self.cache.flush_spill()
+        release = getattr(self.indexes, "release_payloads", None)
+        if release is not None:
+            release()
         for _ in threads:
             self._queue.put(_SHUTDOWN)
         if wait:
@@ -603,11 +660,21 @@ class QueryEngine:
                 # This job cannot ship; run it inline later, leave
                 # the pool (and every sibling) alone.
                 future = None
-            submitted.append((time.perf_counter(), future))
+            done_at = []
+            if future is not None:
+                # Timestamp completion on the parent's clock (the
+                # callback runs in the pool's result-handler thread):
+                # the fan-out is collected serially, so "collection
+                # time minus child" would charge sibling compute skew
+                # to ``shard_ipc``; the done timestamp does not.
+                future.add_done_callback(
+                    lambda _f, _box=done_at:
+                        _box.append(time.perf_counter()))
+            submitted.append((time.perf_counter(), future, done_at))
         results = []
         child_seconds = []
         try:
-            for i, (started, future) in enumerate(submitted):
+            for i, (started, future, done_at) in enumerate(submitted):
                 fn, args = jobs[i]
                 if future is None:
                     child, spans, value = self._run_job_inline(
@@ -619,8 +686,14 @@ class QueryEngine:
                             self._collect_with_retries(
                                 pool, future, fn, args, op, i, started,
                                 deadline, wall, policy)
-                        ipc = max(
-                            time.perf_counter() - started - child, 0.0)
+                        # Prefer the done-callback timestamp; a retry
+                        # or hedge that won on a different future (its
+                        # completion predates the winning submission,
+                        # or never fired) falls back to now.
+                        now = time.perf_counter()
+                        done = next((t for t in done_at
+                                     if t >= started), now)
+                        ipc = max(done - started - child, 0.0)
                     except JobPayloadError:
                         # Pickling failed in the pool's feeder thread
                         # (surfaces on the future, not at submit):
@@ -628,14 +701,22 @@ class QueryEngine:
                         child, spans, value = self._run_job_inline(
                             fn, args, op, i, deadline)
                         ipc = 0.0
-                self.stats.observe(op, child)
-                self.stats.observe("shard_ipc", ipc)
+                # Payload resolution inside the worker (the
+                # ``index_thaw`` spans: unpickling a shipped blob, or
+                # attaching a shared segment) is transport cost, not
+                # query compute -- fold it into ``shard_ipc`` so the
+                # stat honestly prices what the chosen transport pays
+                # and the op histogram prices only the algorithm.
+                thaw = min(child, sum(
+                    s[2] for s in spans if s[0] == "index_thaw"))
+                self.stats.observe(op, child - thaw)
+                self.stats.observe("shard_ipc", ipc + thaw)
                 if trace is not None:
                     index = trace.add_span(
                         "worker_execute", child,
                         tags={"shard": i, "backend": "process"})
                     trace.graft(index, spans)
-                    trace.add_span("shard_ipc", ipc,
+                    trace.add_span("shard_ipc", ipc + thaw,
                                    tags={"shard": i})
                 results.append(value)
                 child_seconds.append(child)
@@ -643,7 +724,7 @@ class QueryEngine:
             # Don't leave the rest of the fan-out running for nobody:
             # cancel what has not started (running jobs self-cancel
             # at their next cooperative deadline check).
-            for _, later in submitted[len(results):]:
+            for _, later, _ in submitted[len(results):]:
                 if later is not None:
                     later.cancel()
             raise
@@ -855,8 +936,12 @@ class QueryEngine:
     def _apply_parent_faults(self, actions, args):
         """Fire parent-side fault actions at the dispatch site:
         ``pool_break`` fails the submission as a dead pool would,
-        ``corrupt`` flips a byte in each shipped payload blob (on a
-        copy -- retries resubmit the pristine original)."""
+        ``corrupt`` poisons each shipped payload -- a flipped byte in
+        a pickled blob, a detectably-corrupted locator for a
+        zero-copy ref (both on copies: retries resubmit the pristine
+        original) -- and ``segment_loss`` unlinks the shared-memory
+        segment a ref points at *in place*, simulating a torn
+        attachment the worker only discovers at attach time."""
         if not actions:
             return args
         for kind, _ in actions:
@@ -866,8 +951,14 @@ class QueryEngine:
             if kind == "corrupt":
                 args = tuple(
                     fault_injection.corrupt_blob(value)
-                    if isinstance(value, (bytes, bytearray)) else value
+                    if isinstance(value, (bytes, bytearray))
+                    else payload_plane.corrupt_ref(value)
+                    if payload_plane.is_ref(value) else value
                     for value in args)
+            if kind == "segment_loss":
+                for value in args:
+                    if payload_plane.is_ref(value):
+                        payload_plane.lose_segment(value)
         return args
 
     def _run_job_inline(self, fn, args, op, index, deadline):
@@ -881,6 +972,21 @@ class QueryEngine:
             value = call()
         return time.perf_counter() - start, log.wire(), value
 
+    def _graph_version(self, name):
+        """Current index-manager version of ``name``, or ``None`` when
+        the graph is not registered (spill entries for it are then
+        unaddressable and simply skipped)."""
+        try:
+            return self.indexes.version(name)
+        except CExplorerError:
+            return None
+
+    def _rebind_wires(self, name, wires):
+        """Rebind wire-format communities spilled to disk back onto
+        the live registered graph object."""
+        graph = self.indexes.graph(name)
+        return [Community.from_wire(graph, wire) for wire in wires]
+
     def _quarantine_if_corrupt(self, exc):
         """Quarantine the payload a corruption error names: the
         resilience plane remembers the identity (so the event is
@@ -893,6 +999,7 @@ class QueryEngine:
         key = exc.key
         if key is None:
             return
+        payload_plane.note_attach_failure(key)
         if self.resilience.quarantine(key):
             discard = getattr(self.indexes, "discard_payload", None)
             if discard is not None:
@@ -960,13 +1067,14 @@ class QueryEngine:
 
     def _full_payload_job_arg(self, name):
         """``(payload, job payload argument)`` for graph ``name``:
-        the pre-pickled blob when jobs ship to worker processes, the
-        snapshot object itself when they run in-process (no
-        serialisation hop to pay)."""
+        a zero-copy locator (or pickled blob, if the payload plane
+        fell back) when jobs ship to worker processes, the snapshot
+        object itself when they run in-process (no serialisation hop
+        to pay)."""
         payload, fresh = self.indexes.full_payload(name)
         if fresh:
             self.stats.observe("snapshot_build", payload.build_seconds)
-        arg = payload.blob if self._process is not None \
+        arg = payload.job_arg() if self._process is not None \
             else payload.frozen
         return payload, arg
 
@@ -1111,61 +1219,59 @@ class QueryEngine:
         self.memo.invalidate(name, version=version,
                              truss_version=truss_version)
 
-    def _worker(self):
-        while True:
-            job = self._queue.get()
-            if job is _SHUTDOWN:
-                return
-            future = job.future
-            trace = job.trace
-            if not future.set_running():
-                # Either cancelled by the caller, or a fan-out
-                # coordinator claimed (stole) the job and ran it
-                # inline before this worker got to it.
-                if future.cancelled():
-                    self.stats.count("cancelled")
-                    self.tracer.finish(trace, "cancelled")
-                else:
-                    self.stats.count("stolen")
-                continue
-            queue_wait = time.perf_counter() - job.submitted_at
-            # Deadline check only after winning the claim: a stolen
-            # job already completed elsewhere and must not be counted
-            # (or marked) as timed out.
-            if (job.deadline is not None
-                    and time.perf_counter() > job.deadline):
-                self.stats.count("timeouts")
-                if trace is not None:
-                    trace.add_span("queue_wait", queue_wait,
-                                   parent=None)
-                    self.tracer.finish(trace, "timeout")
-                future.set_exception(QueryTimeoutError(
-                    "query spent its deadline waiting in the queue"))
-                continue
-            if trace is not None:
-                trace.add_span("queue_wait", queue_wait, parent=None)
-            with self._lifecycle:
-                self._in_flight += 1
-            start = time.perf_counter()
-            _job_context.deadline = job.deadline
-            try:
-                with tracing.activate(trace), \
-                        tracing.span("execute", op=job.op):
-                    result = job.fn(*job.args, **job.kwargs)
-            except BaseException as exc:
-                self.stats.count("errors")
-                self.tracer.finish(trace, "error")
-                future.set_exception(exc)
+    def _run_job(self, job):
+        """Claim and execute one admitted job (called from the
+        weakref-holding :func:`_engine_worker` loop)."""
+        future = job.future
+        trace = job.trace
+        if not future.set_running():
+            # Either cancelled by the caller, or a fan-out
+            # coordinator claimed (stole) the job and ran it
+            # inline before this worker got to it.
+            if future.cancelled():
+                self.stats.count("cancelled")
+                self.tracer.finish(trace, "cancelled")
             else:
-                self.stats.count("completed")
-                self.tracer.finish(trace, "ok")
-                future.set_result(result)
-            finally:
-                _job_context.deadline = None
-                elapsed = time.perf_counter() - start
-                self.stats.observe(job.op, elapsed)
-                with self._lifecycle:
-                    self._in_flight -= 1
+                self.stats.count("stolen")
+            return
+        queue_wait = time.perf_counter() - job.submitted_at
+        # Deadline check only after winning the claim: a stolen
+        # job already completed elsewhere and must not be counted
+        # (or marked) as timed out.
+        if (job.deadline is not None
+                and time.perf_counter() > job.deadline):
+            self.stats.count("timeouts")
+            if trace is not None:
+                trace.add_span("queue_wait", queue_wait,
+                               parent=None)
+                self.tracer.finish(trace, "timeout")
+            future.set_exception(QueryTimeoutError(
+                "query spent its deadline waiting in the queue"))
+            return
+        if trace is not None:
+            trace.add_span("queue_wait", queue_wait, parent=None)
+        with self._lifecycle:
+            self._in_flight += 1
+        start = time.perf_counter()
+        _job_context.deadline = job.deadline
+        try:
+            with tracing.activate(trace), \
+                    tracing.span("execute", op=job.op):
+                result = job.fn(*job.args, **job.kwargs)
+        except BaseException as exc:
+            self.stats.count("errors")
+            self.tracer.finish(trace, "error")
+            future.set_exception(exc)
+        else:
+            self.stats.count("completed")
+            self.tracer.finish(trace, "ok")
+            future.set_result(result)
+        finally:
+            _job_context.deadline = None
+            elapsed = time.perf_counter() - start
+            self.stats.observe(job.op, elapsed)
+            with self._lifecycle:
+                self._in_flight -= 1
 
     # ------------------------------------------------------------------
     # observability
@@ -1210,6 +1316,7 @@ class QueryEngine:
             "truss": self.indexes.truss_stats(),
             "traces": self.tracer.stats(),
             "resilience": self.resilience.snapshot(faults=self.faults),
+            "payloads": payload_plane.plane_stats(),
         })
         if self.explorer is not None:
             names = self.indexes.names()

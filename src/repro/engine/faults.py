@@ -57,12 +57,16 @@ ENV_VAR = "REPRO_FAULT_PLAN"
 #: retryable :class:`~repro.util.errors.WorkerKilledError` (``drop``
 #: models a lost result, ``kill`` a dead worker -- distinguished only
 #: in counters); ``delay`` sleeps; ``duplicate`` runs the (idempotent)
-#: job twice; ``corrupt`` flips a byte of the pickled payload
-#: parent-side; ``pool_break`` fails dispatch as if the process pool
+#: job twice; ``corrupt`` poisons the shipped payload parent-side (a
+#: flipped byte of a pickled blob, a corrupted locator for a
+#: zero-copy payload ref); ``segment_loss`` unlinks the shared-memory
+#: segment behind a payload ref at the dispatch site, so the worker
+#: discovers the loss at attach time (exercises the re-pickle
+#: fallback); ``pool_break`` fails dispatch as if the process pool
 #: died; ``error`` raises a :class:`FaultInjectedError` (inside a span
 #: for ``span:*`` targets, at job start otherwise).
 FAULT_KINDS = ("kill", "drop", "delay", "duplicate", "corrupt",
-               "pool_break", "error")
+               "segment_loss", "pool_break", "error")
 
 # Kinds that execute inside the worker (shipped with the job); the
 # rest act at the parent's dispatch site.

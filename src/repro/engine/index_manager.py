@@ -40,6 +40,7 @@ import itertools
 import pickle
 import threading
 import time
+import weakref
 
 from repro.core.cltree import build_cltree
 from repro.core.kcore import core_decomposition
@@ -49,7 +50,7 @@ from repro.core.truss_maintenance import (
     TrussMaintainer,
     truss_affected_vertices,
 )
-from repro.engine import tracing
+from repro.engine import payloads, tracing
 from repro.graph.frozen import FrozenGraph
 from repro.util.errors import CExplorerError
 
@@ -94,21 +95,27 @@ class GraphPayload:
     """A whole graph, frozen and ready to ship to a worker process.
 
     ``frozen`` is the CSR snapshot (what an in-process job consumes
-    directly); ``blob`` lazily pickles it once for process shipping.
-    ``key`` is the ``(manager epoch, graph, "full", version)`` identity
-    workers cache their unpickled copy -- and every derived structure
-    (core numbers, CL-tree, truss map) -- under, so repeated
-    whole-query jobs against an unchanged graph pay neither the
-    unpickle nor the decompositions.
+    directly); ``blob`` lazily pickles it once for process shipping,
+    and :meth:`job_arg` prefers the zero-copy payload plane
+    (:mod:`repro.engine.payloads`): the snapshot is published once
+    into a shared-memory segment and jobs carry a tiny ref instead of
+    the blob.  ``key`` is the ``(manager epoch, graph, "full",
+    version)`` identity workers cache their attached/unpickled copy
+    -- and every derived structure (core numbers, CL-tree, truss map)
+    -- under, so repeated whole-query jobs against an unchanged graph
+    pay neither the transfer nor the decompositions.
     """
 
-    __slots__ = ("key", "version", "frozen", "_blob", "build_seconds")
+    __slots__ = ("key", "version", "frozen", "_blob", "_segment",
+                 "_transport_lock", "build_seconds")
 
     def __init__(self, key, version, frozen, build_seconds):
         self.key = key
         self.version = version
         self.frozen = frozen
         self._blob = None
+        self._segment = None
+        self._transport_lock = threading.Lock()
         self.build_seconds = build_seconds
 
     @property
@@ -119,6 +126,52 @@ class GraphPayload:
                 self._blob = pickle.dumps(
                     self.frozen, protocol=pickle.HIGHEST_PROTOCOL)
         return self._blob
+
+    def _extras(self):
+        """Sidecar tuple published next to the CSR (none for a whole
+        graph; shard payloads override)."""
+        return None
+
+    def ref(self):
+        """The payload-plane locator, publishing on first use (one
+        segment per payload, guarded against concurrent queries).
+        ``None`` when every zero-copy rung is unavailable."""
+        with self._transport_lock:
+            if self._segment is None:
+                self._segment = payloads.publish(
+                    self.key, self.frozen, self._extras())
+            return self._segment.ref if self._segment is not None \
+                else None
+
+    def job_arg(self):
+        """What a process-shipped job should carry: the zero-copy ref
+        when the plane is up, else the pickled blob."""
+        ref = self.ref()
+        return ref if ref is not None else self.blob
+
+    def release(self):
+        """Drop this payload's segment reference (unlinks at zero).
+        Idempotent; called on version bump, eviction, quarantine
+        discard, unregister, and engine shutdown."""
+        with self._transport_lock:
+            segment, self._segment = self._segment, None
+        if segment is not None:
+            segment.release()
+
+
+def _release_orphaned(lock, stores):
+    """GC finalizer for a manager dropped without ``shutdown()``: its
+    cached payloads must not pin shared-memory segments until the
+    atexit sweep.  ``stores`` is the manager's list of payload dicts
+    (subclasses append their own), captured without a reference to
+    the manager itself."""
+    stale = []
+    with lock:
+        for store in stores:
+            stale.extend(store.values())
+            store.clear()
+    for payload in stale:
+        payload.release()
 
 
 class IndexManager:
@@ -141,6 +194,12 @@ class IndexManager:
         # bounded by the number of registered graphs.
         self._full_payloads = {}
         self._payload_epoch = next(self._payload_epochs)
+        # Payload dicts to drain when this manager is collected
+        # without an explicit ``release_payloads`` (an engine dropped
+        # without shutdown); subclasses append theirs.
+        self._payload_stores = [self._full_payloads]
+        self._payload_finalizer = weakref.finalize(
+            self, _release_orphaned, self._lock, self._payload_stores)
         # Optional build delegate ``(graph, core=None) -> (core,
         # cltree)``; the engine's process backend installs one so
         # CL-tree builds (every graph *and* every shard entry, so an
@@ -189,7 +248,9 @@ class IndexManager:
         """Drop ``name`` and notify subscribers (caches evict)."""
         with self._lock:
             self._entries.pop(name, None)
-            self._full_payloads.pop(name, None)
+            stale = self._full_payloads.pop(name, None)
+        if stale is not None:
+            stale.release()
         self._notify(name, None, None)
 
     def names(self):
@@ -323,28 +384,63 @@ class IndexManager:
             (self._payload_epoch, name, "full", version), version,
             frozen, 0.0)
         payload.build_seconds = time.perf_counter() - start
+        replaced = None
         with self._lock:
             fresh = self._entries.get(name)
             if fresh is not None and fresh.graph is graph \
                     and fresh.version == version:
+                replaced = self._full_payloads.get(name)
                 self._full_payloads[name] = payload
+        if replaced is not None:
+            replaced.release()
         return payload, True
+
+    def seed_payload(self, name, frozen):
+        """Adopt ``frozen`` (e.g. an mmap-loaded store snapshot) as
+        the current whole-graph payload -- the warm-restart path that
+        skips the freeze.  Returns the seeded :class:`GraphPayload`.
+        """
+        with self._lock:
+            entry = self._entry(name)
+            payload = GraphPayload(
+                (self._payload_epoch, name, "full", entry.version),
+                entry.version, frozen, 0.0)
+            replaced = self._full_payloads.get(name)
+            self._full_payloads[name] = payload
+        if replaced is not None:
+            replaced.release()
+        return payload
 
     def discard_payload(self, key):
         """Drop any cached payload whose identity is ``key``.
 
         The corruption-quarantine hook: when a worker reports a
-        payload that failed to unpickle, the engine discards exactly
-        that ``(epoch, graph, ..., version)`` entry so the next query
-        re-freezes from the live graph instead of re-shipping poisoned
-        bytes.  Returns whether anything was dropped.
+        payload that failed to attach or unpickle, the engine discards
+        exactly that ``(epoch, graph, ..., version)`` entry -- and
+        unlinks its shared-memory segment -- so the next query
+        re-freezes and re-publishes from the live graph instead of
+        re-shipping poisoned bytes.  Returns whether anything was
+        dropped.
         """
         with self._lock:
+            stale = None
             for name, payload in list(self._full_payloads.items()):
                 if payload.key == key:
-                    del self._full_payloads[name]
-                    return True
+                    stale = self._full_payloads.pop(name)
+                    break
+        if stale is not None:
+            stale.release()
+            return True
         return False
+
+    def release_payloads(self):
+        """Drop every cached payload and unlink its segment (engine
+        shutdown: nothing may leak into ``/dev/shm``)."""
+        with self._lock:
+            stale = list(self._full_payloads.values())
+            self._full_payloads.clear()
+        for payload in stale:
+            payload.release()
 
     def full_payload_ready(self, name):
         """Whether a current-version whole-graph payload is cached."""
@@ -572,6 +668,12 @@ class IndexManager:
             if truss is not None:
                 entry.truss_built_version = entry.truss_version
             version = entry.version
+            # The cached payload is now one version behind: release
+            # it (and its shared-memory segment) eagerly instead of
+            # leaving the unlink to the next full_payload replacement.
+            stale = self._full_payloads.pop(name, None)
+        if stale is not None:
+            stale.release()
         self._notify(name, version, affected, truss_affected)
         return version
 

@@ -84,7 +84,7 @@ from repro.engine.backends import (
     shard_truss_job,
 )
 from repro.engine import tracing
-from repro.engine.index_manager import IndexManager
+from repro.engine.index_manager import GraphPayload, IndexManager
 from repro.engine.plans import FANOUT_ALGORITHMS, TRUSS_FAMILY
 from repro.graph.frozen import FrozenGraph
 from repro.util.errors import (
@@ -284,27 +284,41 @@ class TrussShardReport:
         self.uncertain = uncertain
 
 
-class ShardPayload:
+class ShardPayload(GraphPayload):
     """One shard's frozen snapshot, ready to ship to a worker process.
 
-    ``blob`` is the pre-pickled ``(FrozenGraph, old_ids,
-    global_degree)`` triple -- serialised **once per shard version**
-    by :meth:`ShardedIndexManager.shard_payload` and reused by every
-    query until maintenance bumps the shard, so the per-query IPC cost
-    is one bytes copy, not a graph traversal.  ``key`` is the
-    ``(manager epoch, graph, shard, version)`` identity workers cache
-    their unpickled copy (and its shard-local core numbers) under --
-    the epoch keeps same-named graphs of different managers apart when
-    jobs run inline in a shared parent process.
+    The payload bundles the ``(FrozenGraph, old_ids, global_degree)``
+    triple a shard job needs.  :meth:`job_arg` ships it zero-copy
+    through the payload plane (one shared-memory segment per shard
+    version, a tiny ref per dispatch); ``blob`` is the pickled-triple
+    fallback, serialised lazily **once per shard version** and reused
+    until maintenance bumps the shard.  ``key`` is the ``(manager
+    epoch, graph, shard, version)`` identity workers cache their
+    attached/unpickled copy (and its shard-local core numbers) under
+    -- the epoch keeps same-named graphs of different managers apart
+    when jobs run inline in a shared parent process.
     """
 
-    __slots__ = ("key", "version", "blob", "build_seconds")
+    __slots__ = ("old_ids", "global_degree")
 
-    def __init__(self, key, version, blob, build_seconds):
-        self.key = key
-        self.version = version
-        self.blob = blob
-        self.build_seconds = build_seconds
+    def __init__(self, key, version, frozen, old_ids, global_degree,
+                 build_seconds):
+        super().__init__(key, version, frozen, build_seconds)
+        self.old_ids = old_ids
+        self.global_degree = global_degree
+
+    @property
+    def blob(self):
+        """The pickled job triple (serialised once, on first use)."""
+        if self._blob is None:
+            with tracing.span("payload_pickle"):
+                self._blob = pickle.dumps(
+                    (self.frozen, self.old_ids, self.global_degree),
+                    protocol=pickle.HIGHEST_PROTOCOL)
+        return self._blob
+
+    def _extras(self):
+        return (self.old_ids, self.global_degree)
 
 
 class _ShardSet:
@@ -340,6 +354,7 @@ class ShardedIndexManager(IndexManager):
         # epoch (worker-cache identity of same-named graphs across
         # managers) is inherited from :class:`IndexManager`.
         self._payloads = {}
+        self._payload_stores.append(self._payloads)
         # name -> {edge: exact global support} for the edges no shard
         # owns (cut edges).  Kept exact under maintenance by the
         # :meth:`invalidate` override: an update only evicts the
@@ -381,41 +396,67 @@ class ShardedIndexManager(IndexManager):
                 old = self._parts.get(name)
                 self._parts[name] = fresh
                 self._cut_supports.pop(name, None)
+                stale = self._drop_shard_payloads(name)
             leftovers = old.names[shards:] if old is not None else []
         else:
             with self._lock:
                 old = self._parts.pop(name, None)
                 self._cut_supports.pop(name, None)
+                stale = self._drop_shard_payloads(name)
             leftovers = old.names if old is not None else []
+        for payload in stale:
+            payload.release()
         for entry in leftovers:
             super().unregister(entry)
         return version
 
+    def _drop_shard_payloads(self, name, shard=None):
+        """Pop cached shard payloads of ``name`` (one shard or all)
+        and return them for release *outside* the manager lock."""
+        stale = [key for key in self._payloads
+                 if key[0] == name and (shard is None or key[1] == shard)]
+        return [self._payloads.pop(key) for key in stale]
+
     def unregister(self, name):
-        """Drop ``name``, its shard entries and its cached payloads."""
+        """Drop ``name``, its shard entries and its cached payloads
+        (releasing their shared-memory segments)."""
         with self._lock:
             old = self._parts.pop(name, None)
             self._cut_supports.pop(name, None)
-            self._payloads = {key: payload
-                              for key, payload in self._payloads.items()
-                              if key[0] != name}
+            stale = self._drop_shard_payloads(name)
+        for payload in stale:
+            payload.release()
         if old is not None:
             for entry in old.names:
                 super().unregister(entry)
         super().unregister(name)
 
     def discard_payload(self, key):
-        """Quarantine hook covering shard payloads too: a corrupt
-        per-shard blob is dropped from the shard-payload cache so the
-        next fan-out re-freezes that shard."""
+        """Quarantine hook covering shard payloads too: a corrupt or
+        unattachable per-shard payload is dropped from the cache and
+        its segment unlinked, so the next fan-out re-freezes and
+        re-publishes that shard."""
         if super().discard_payload(key):
             return True
         with self._lock:
+            stale = None
             for cache_key, payload in list(self._payloads.items()):
                 if payload.key == key:
-                    del self._payloads[cache_key]
-                    return True
+                    stale = self._payloads.pop(cache_key)
+                    break
+        if stale is not None:
+            stale.release()
+            return True
         return False
+
+    def release_payloads(self):
+        """Shutdown hook: release shard payloads too."""
+        with self._lock:
+            stale = list(self._payloads.values())
+            self._payloads.clear()
+        for payload in stale:
+            payload.release()
+        super().release_payloads()
 
     # ------------------------------------------------------------------
     # shard reads
@@ -571,13 +612,15 @@ class ShardedIndexManager(IndexManager):
             for old, new in mapping.items():
                 old_ids[new] = old
             global_degree = [graph.degree(old) for old in old_ids]
-        # The (immutable) snapshot pickles outside the lock.
-        with tracing.span("payload_pickle", graph=name, shard=shard):
-            blob = pickle.dumps((frozen, old_ids, global_degree),
-                                protocol=pickle.HIGHEST_PROTOCOL)
+        # Serialisation is lazy: the payload plane ships the frozen
+        # arrays zero-copy through a shared-memory segment, so the
+        # pickle (``payload.blob``) only ever runs on the fallback
+        # rung -- cold queries stop paying ``payload_pickle`` at all.
         payload = ShardPayload(
-            (self._payload_epoch, name, shard, version), version, blob,
+            (self._payload_epoch, name, shard, version), version,
+            frozen, old_ids, global_degree,
             time.perf_counter() - start)
+        replaced = None
         with self._lock:
             fresh = self._parts.get(name)
             # Publish only when the snapshot still describes the live
@@ -587,7 +630,10 @@ class ShardedIndexManager(IndexManager):
             # it -- the same either-state semantics the thread path
             # has for queries concurrent with mutations.
             if fresh is part and self.version(entry_name) == version:
+                replaced = self._payloads.get((name, shard))
                 self._payloads[(name, shard)] = payload
+        if replaced is not None:
+            replaced.release()
         return payload, True
 
     # ------------------------------------------------------------------
@@ -657,6 +703,7 @@ class ShardedIndexManager(IndexManager):
         cache.
         """
         parent = parent_graph_name(name)
+        stale_payloads = []
         with self._lock:
             cache = self._cut_supports.get(parent)
             if cache:
@@ -668,6 +715,19 @@ class ShardedIndexManager(IndexManager):
                              or edge[1] in affected]
                     for edge in stale:
                         del cache[edge]
+            # A shard-entry bump makes the cached shard payload one
+            # version stale: release it (and unlink its segment) now
+            # rather than when the next fan-out replaces it.
+            if parent != name and _SHARD_SEP in name:
+                try:
+                    shard = int(name.rsplit(_SHARD_SEP, 1)[1])
+                except ValueError:
+                    shard = None
+                if shard is not None:
+                    stale_payloads = self._drop_shard_payloads(
+                        parent, shard)
+        for payload in stale_payloads:
+            payload.release()
         return super().invalidate(name, affected=affected, **kwargs)
 
     # ------------------------------------------------------------------
@@ -850,7 +910,7 @@ def sharded_structural_community(engine, name, q, k):
                     engine.stats.observe("snapshot_build",
                                          payload.build_seconds)
                 jobs.append((shard_candidates_job,
-                             (payload.key, payload.blob, k)))
+                             (payload.key, payload.job_arg(), k)))
             raw = engine.map_shard_jobs(jobs, graph=name)
             reports = [
                 ShardReport(shard, set(certified), dict(uncertain),
@@ -1025,7 +1085,7 @@ def _compute_sharded_truss_edge_set(engine, name, k):
                 engine.stats.observe("snapshot_build",
                                      payload.build_seconds)
             jobs.append((shard_truss_job,
-                         (payload.key, payload.blob, k)))
+                         (payload.key, payload.job_arg(), k)))
         raw = engine.map_shard_jobs(jobs, graph=name)
         reports = [
             TrussShardReport(shard, set(certified), set(uncertain))

@@ -705,6 +705,22 @@ def render_prometheus(metrics_doc, prefix="repro"):
                "Payload identities currently quarantined.")
     exp.sample(name, {}, resilience.get("quarantined", 0))
 
+    payloads = engine.get("payloads") or {}
+    name = prefix + "_shm_segments"
+    exp.header(name, "gauge",
+               "Live shared-memory payload segments owned by this "
+               "process.")
+    exp.sample(name, {}, payloads.get("shm_segments", 0))
+    name = prefix + "_payload_bytes"
+    exp.header(name, "gauge",
+               "Bytes held in live shared-memory payload segments.")
+    exp.sample(name, {}, payloads.get("payload_bytes", 0))
+    name = prefix + "_payload_attach_failures_total"
+    exp.header(name, "counter",
+               "Zero-copy payload attach failures (workers fell back "
+               "to the pickled path).")
+    exp.sample(name, {}, payloads.get("attach_failures", 0))
+
     traces = engine.get("traces", {})
     name = prefix + "_traces_recorded_total"
     exp.header(name, "counter", "Query traces recorded.")

@@ -63,14 +63,16 @@ class FrozenGraph:
     """
 
     __slots__ = ("indptr", "indices", "_m", "_keywords", "_labels",
-                 "_label_to_id", "_np_csr", "_postings")
+                 "_label_to_id", "_np_csr", "_postings", "_sidecar")
 
-    def __init__(self, indptr, indices, keywords, labels):
+    def __init__(self, indptr, indices, keywords, labels,
+                 sidecar_loader=None):
         self.indptr = indptr
         self.indices = indices
         self._m = len(indices) // 2
         self._keywords = keywords
         self._labels = labels
+        self._sidecar = sidecar_loader
         self._label_to_id = None     # built lazily; excluded from pickle
         self._np_csr = None          # cached numpy views, ditto
         self._postings = None        # lazy keyword postings, ditto
@@ -101,7 +103,17 @@ class FrozenGraph:
     # pickling (drop the lazy caches; they rebuild on demand)
     # ------------------------------------------------------------------
     def __getstate__(self):
-        return (self.indptr, self.indices, self._keywords, self._labels)
+        # A zero-copy snapshot (repro.engine.payloads) holds its CSR
+        # as memoryviews into a shared-memory segment or mmap; those
+        # must not be pickled by reference to a buffer that does not
+        # travel, so they materialise back into plain arrays here.
+        self._ensure_sidecar()
+        indptr, indices = self.indptr, self.indices
+        if not isinstance(indptr, array):
+            indptr = array("i", indptr)
+        if not isinstance(indices, array):
+            indices = array("i", indices)
+        return (indptr, indices, self._keywords, self._labels)
 
     def __setstate__(self, state):
         indptr, indices, keywords, labels = state
@@ -110,6 +122,7 @@ class FrozenGraph:
         self._m = len(indices) // 2
         self._keywords = keywords
         self._labels = labels
+        self._sidecar = None
         self._label_to_id = None
         self._np_csr = None
         self._postings = None
@@ -186,11 +199,13 @@ class FrozenGraph:
     def keywords(self, v):
         """``W(v)`` as a frozenset of keyword strings."""
         self._check_vertex(v)
+        self._ensure_sidecar()
         return self._keywords[v]
 
     def label(self, v):
         """The label of ``v`` (or ``None``)."""
         self._check_vertex(v)
+        self._ensure_sidecar()
         return self._labels[v]
 
     def display_name(self, v):
@@ -215,6 +230,7 @@ class FrozenGraph:
 
     def keyword_vocabulary(self):
         """The set of all keywords appearing on any vertex."""
+        self._ensure_sidecar()
         vocab = set()
         for kws in self._keywords:
             vocab |= kws
@@ -231,6 +247,7 @@ class FrozenGraph:
         and its values must be treated as read-only.
         """
         if self._postings is None:
+            self._ensure_sidecar()
             postings = {}
             for v, kws in enumerate(self._keywords):
                 for w in kws:
@@ -310,6 +327,7 @@ class FrozenGraph:
                 if w is not None:
                     sub_indices.append(w)  # stays sorted: map is monotone
             sub_indptr[new + 1] = len(sub_indices)
+        self._ensure_sidecar()
         keywords = tuple(self._keywords[old] for old in keep)
         labels = tuple(self._labels[old] for old in keep)
         return (FrozenGraph(sub_indptr, sub_indices, keywords, labels),
@@ -347,11 +365,24 @@ class FrozenGraph:
 
     def _label_map(self):
         if self._label_to_id is None:
+            self._ensure_sidecar()
             self._label_to_id = {
                 label: v for v, label in enumerate(self._labels)
                 if label is not None
             }
         return self._label_to_id
+
+    def _ensure_sidecar(self):
+        """Materialise lazily-attached vertex attributes.
+
+        A zero-copy snapshot (:mod:`repro.engine.payloads`) defers the
+        keyword/label sidecar unpickle until something actually reads
+        an attribute -- the structural kernels (core/truss/BFS) never
+        do, which is what makes a shared-memory attach near-free."""
+        loader = self._sidecar
+        if loader is not None:
+            self._sidecar = None
+            self._keywords, self._labels = loader()
 
     def _check_vertex(self, v):
         if not (isinstance(v, int) and 0 <= v < len(self.indptr) - 1):
